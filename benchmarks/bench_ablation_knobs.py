@@ -1,0 +1,101 @@
+"""Design-knob ablations beyond the paper's figures.
+
+Sweeps the tunables DESIGN.md calls out — warps-per-block (hardware
+assignment balance vs scheduling overhead), the software pool's chunk step,
+and the TLPGNN lane-group size — and records where each optimum falls.
+"""
+
+import numpy as np
+
+from repro.bench import BenchConfig, get_dataset, make_features
+from repro.gpusim import software_pool_schedule
+from repro.kernels import TLPGNNKernel
+from repro.models import build_conv
+
+from conftest import MAX_EDGES, SEED
+
+
+def _workload(abbr, feat=32):
+    cfg = BenchConfig(feat_dim=feat, max_edges=MAX_EDGES, seed=SEED)
+    ds = get_dataset(abbr, cfg)
+    X = make_features(ds.graph.num_vertices, feat, seed=SEED)
+    return build_conv("gcn", ds.graph, X), cfg.spec_for(ds)
+
+
+def test_warps_per_block_sweep(benchmark):
+    """Paper §5: fewer warps/block balances better but schedules more blocks."""
+    wl, spec = _workload("RD")
+
+    def sweep():
+        out = {}
+        for wpb in (1, 2, 4, 8, 16):
+            k = TLPGNNKernel(assignment="hardware", warps_per_block=wpb)
+            out[wpb] = k.execute(wl, spec).timing.gpu_seconds
+        return out
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["times"] = {str(k): v for k, v in times.items()}
+    # huge blocks must not be the optimum on a skewed graph
+    assert min(times, key=times.get) < 16
+
+
+def test_pool_step_sweep(benchmark):
+    """Chunk size of Algorithm 1: tiny steps pay atomics, huge steps unbalance."""
+    wl, spec = _workload("RD")
+    stats, _ = TLPGNNKernel(assignment="software").analyze(wl, spec)
+
+    def sweep():
+        return {
+            step: software_pool_schedule(
+                stats.warp_cycles, spec, step=step
+            ).makespan_cycles
+            for step in (1, 2, 8, 64, 512)
+        }
+
+    spans = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["makespans"] = {str(k): v for k, v in spans.items()}
+    assert spans[512] >= spans[8]  # giant chunks unbalance
+
+
+def test_group_size_sweep(benchmark):
+    """Lanes per vertex: 32 is right for feat >= 32; smaller groups only pay
+    off when most lanes would idle."""
+    wl16, spec = _workload("RD", feat=16)
+    wl128, _ = _workload("RD", feat=128)
+
+    def sweep():
+        out = {}
+        for feat, wl in (("f16", wl16), ("f128", wl128)):
+            for gs in (8, 16, 32):
+                k = TLPGNNKernel(group_size=gs, assignment="hardware")
+                out[f"{feat}/g{gs}"] = k.execute(wl, spec).timing.gpu_seconds
+        return out
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["times"] = {k: v for k, v in times.items()}
+    # group size is a weak knob once the kernel is bandwidth-bound — the
+    # paper's fig-12 "half the warp idle costs little" observation
+    for feat in ("f16", "f128"):
+        vals = [times[f"{feat}/g{g}"] for g in (8, 16, 32)]
+        assert max(vals) / min(vals) < 1.4
+
+
+def test_device_scaling_preserves_ordering(benchmark):
+    """The scaled-device mode must not change who wins."""
+    from repro.bench import run_comparison
+
+    def compare():
+        out = {}
+        for scale_device in (True, False):
+            cfg = BenchConfig(max_edges=MAX_EDGES, seed=SEED,
+                              scale_device=scale_device)
+            res = run_comparison("gcn", "RD", cfg)
+            out[scale_device] = {
+                k: (None if v is None else v.runtime_ms) for k, v in res.items()
+            }
+        return out
+
+    res = benchmark.pedantic(compare, rounds=1, iterations=1)
+    for mode, times in res.items():
+        valid = {k: v for k, v in times.items() if v is not None}
+        assert min(valid, key=valid.get) == "TLPGNN"

@@ -1,0 +1,23 @@
+"""Figure 10: technique benefits — cumulative ablation over edge-centric."""
+
+from repro.bench import fig10
+
+from conftest import run_and_report
+
+
+def test_fig10_ablation(benchmark, config):
+    result = run_and_report(benchmark, fig10, config)
+    assert len(result.records) == 44
+    import numpy as np
+
+    # nearly every cell improves over the baseline overall, substantially
+    # in the mean (paper: 8.6x-12.9x per-model averages)
+    totals = [r["total"] for r in result.records]
+    assert min(totals) > 0.9
+    assert np.mean(totals) > 1.8
+    # the two-level parallelism step alone helps on average (paper: 2.5-2.8x)
+    assert np.mean([r["+TLP"] for r in result.records]) > 1.1
+    # hybrid assignment helps most on the four largest graphs (paper: ~2x)
+    big = [r["+Hybrid"] for r in result.records if r["dataset"] in
+           ("CL", "ON", "RD", "OT")]
+    assert np.mean(big) > 1.1

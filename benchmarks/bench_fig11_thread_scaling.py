@@ -1,0 +1,14 @@
+"""Figure 11: scalability against thread count (full-size degree sequences)."""
+
+from repro.bench import fig11
+
+from conftest import run_and_report
+
+
+def test_fig11_thread_scaling(benchmark, config):
+    result = run_and_report(benchmark, fig11, config)
+    for rec in result.records:
+        sp = rec["speedups"]
+        assert sp[0] == 1.0
+        assert all(b >= a for a, b in zip(sp, sp[1:]))  # monotone
+        assert sp[-1] > 30.0  # paper: 45.3x-67.5x at 128 blocks

@@ -1,0 +1,14 @@
+"""Figure 8: GNNAdvisor atomic-write traffic (GCN/GIN over 7 datasets)."""
+
+from repro.bench import fig8
+
+from conftest import run_and_report
+
+
+def test_fig8_atomic_traffic(benchmark, config):
+    result = run_and_report(benchmark, fig8, config)
+    assert len(result.records) == 14
+    assert all(r["atomic_bytes"] > 0 for r in result.records)
+    # traffic grows with graph size within each model series
+    gcn = [r["atomic_bytes"] for r in result.records if r["model"] == "gcn"]
+    assert gcn[-1] > gcn[0]  # OH >> CS

@@ -1,0 +1,41 @@
+"""Multi-GPU scaling (the paper's future work): conv time vs device count."""
+
+import numpy as np
+
+from repro.bench import BenchConfig, get_dataset, make_features
+from repro.multigpu import distribute_conv
+
+from conftest import MAX_EDGES, SEED
+
+
+def test_multigpu_scaling(benchmark):
+    cfg = BenchConfig(max_edges=MAX_EDGES, seed=SEED)
+    ds = get_dataset("OA", cfg)
+    X = make_features(ds.graph.num_vertices, cfg.feat_dim, seed=SEED)
+
+    def sweep():
+        out = {}
+        for k in (1, 2, 4, 8):
+            res = distribute_conv(ds.graph, X, k, spec=cfg.spec_for(ds), seed=0)
+            out[k] = {
+                "conv_ms": res.conv_seconds * 1e3,
+                "exchange_ms": res.exchange_seconds * 1e3,
+                "halo_mb": res.halo_bytes / 1e6,
+                "balance": res.load_balance,
+            }
+        return out
+
+    res = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["scaling"] = {str(k): v for k, v in res.items()}
+    print()
+    for k, v in res.items():
+        print(
+            f"  {k} device(s): conv {v['conv_ms']:.3f} ms + exchange "
+            f"{v['exchange_ms']:.3f} ms (halo {v['halo_mb']:.2f} MB, "
+            f"balance {v['balance']:.2f})"
+        )
+    # per-device conv time must shrink with more devices
+    assert res[8]["conv_ms"] < res[1]["conv_ms"]
+    # and the halo exchange must grow — the trade-off the paper's future
+    # work would have to balance
+    assert res[8]["halo_mb"] > res[2]["halo_mb"]

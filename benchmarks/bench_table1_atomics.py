@@ -1,0 +1,16 @@
+"""Table 1: atomic-operation impact — push / edge-centric / GNNAdvisor /
+pull implementations of the GCN convolution (ovcar_8h-like, feat 128)."""
+
+from repro.bench import table1
+
+from conftest import run_and_report
+
+
+def test_table1_atomics(benchmark, config_f128):
+    result = run_and_report(benchmark, table1, config_f128)
+    recs = {r["kernel"].split("[")[0]: r for r in result.records}
+    pull = [r for r in result.records if r["kernel"].startswith("tlpgnn")][0]
+    others = [r for r in result.records if not r["kernel"].startswith("tlpgnn")]
+    # Observation I: the atomic-free pull kernel wins
+    assert all(pull["gpu_ms"] < r["gpu_ms"] for r in others)
+    assert pull["atomic_bytes"] == 0

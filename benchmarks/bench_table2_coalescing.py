@@ -1,0 +1,13 @@
+"""Table 2: coalesced memory access — one-thread vs half-warp per vertex."""
+
+from repro.bench import table2
+
+from conftest import run_and_report
+
+
+def test_table2_coalescing(benchmark, config_f128):
+    result = run_and_report(benchmark, table2, config_f128)
+    thread, warp = result.records
+    # Observation II: warp mapping crushes thread mapping
+    assert warp["runtime_ms"] < thread["runtime_ms"]
+    assert thread["sectors_per_request"] > 3 * warp["sectors_per_request"]

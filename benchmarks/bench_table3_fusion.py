@@ -1,0 +1,14 @@
+"""Table 3: kernel-launch impact — DGL (18) vs 3-kernel vs 1-kernel GAT."""
+
+from repro.bench import table3
+
+from conftest import run_and_report
+
+
+def test_table3_fusion(benchmark, config):
+    result = run_and_report(benchmark, table3, config)
+    recs = {r["config"]: r for r in result.records}
+    # Observation III: fewer kernels, faster runtime, less memory
+    assert recs["One-Kernel"]["runtime"] < recs["Three-Kernel"]["runtime"]
+    assert recs["Three-Kernel"]["runtime"] < recs["DGL"]["runtime"]
+    assert recs["One-Kernel"]["usage"] < recs["DGL"]["usage"]

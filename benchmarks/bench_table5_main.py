@@ -1,0 +1,17 @@
+"""Table 5: the main comparison — 4 models x 11 datasets x 4 systems."""
+
+from repro.bench import table5
+
+from conftest import run_and_report
+
+
+def test_table5_main(benchmark, config):
+    result = run_and_report(benchmark, table5, config)
+    assert len(result.records) == 44
+    wins = sum(1 for r in result.records if r["speedup"] > 1.0)
+    # the paper's headline: TLPGNN beats the best baseline almost everywhere
+    # (41 of 44 cells in the paper; our model has no losing cells)
+    assert wins >= 40
+    # GNNAdvisor dashes exactly where the paper has them
+    dashes = [r for r in result.records if r["GNNA."] is None]
+    assert len(dashes) == 2 * 4 + 2 * 11  # 4 big graphs x2 models + sage/gat

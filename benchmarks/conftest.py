@@ -1,0 +1,50 @@
+"""Benchmark configuration shared by all table/figure benches.
+
+Each benchmark regenerates one table or figure of the paper through
+pytest-benchmark (single-round pedantic timing — a regeneration is a full
+experiment, not a microbenchmark) and attaches the produced rows to
+``benchmark.extra_info`` so the numbers land in the benchmark report.
+
+Scale knobs: ``REPRO_MAX_EDGES`` (default 2_000_000) bounds the synthetic
+dataset stand-ins; the modeled device shrinks with the data so modeled
+milliseconds stay comparable with the paper's full-size numbers.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import BenchConfig
+
+MAX_EDGES = int(os.environ.get("REPRO_MAX_EDGES", 2_000_000))
+SEED = int(os.environ.get("REPRO_SEED", 7))
+
+
+@pytest.fixture(scope="session")
+def config() -> BenchConfig:
+    return BenchConfig(max_edges=MAX_EDGES, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def config_f128() -> BenchConfig:
+    return BenchConfig(feat_dim=128, max_edges=MAX_EDGES, seed=SEED)
+
+
+#: rendered tables/figures are persisted here on every benchmark run
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_and_report(benchmark, fn, *args, **kwargs):
+    """Run a regenerator once under the benchmark clock, print it, and
+    persist the rendered table to ``benchmarks/results/``."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    rendered = result.render()
+    print()
+    print(rendered)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    slug = result.exp_id.lower().replace(" ", "")
+    with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w") as fh:
+        fh.write(rendered + "\n")
+    benchmark.extra_info["exp_id"] = result.exp_id
+    benchmark.extra_info["rows"] = result.rows
+    return result

@@ -1,0 +1,53 @@
+"""Reproduce the paper's Section 3 profiling analysis (Observations I-III).
+
+Walks through the three profiling studies that motivated the TLPGNN design:
+atomic operations (Table 1), coalesced memory access (Table 2), and kernel
+launches (Table 3), printing the observation each one supports.
+
+    python examples/profiling_analysis.py
+"""
+
+from repro.bench import BenchConfig, table1, table2, table3
+
+
+def main() -> None:
+    cfg128 = BenchConfig(feat_dim=128)
+    cfg32 = BenchConfig(feat_dim=32)
+
+    t1 = table1(cfg128)
+    print(t1.render())
+    pull = next(r for r in t1.records if r["kernel"].startswith("tlpgnn"))
+    worst = max(r["gpu_ms"] for r in t1.records)
+    print(
+        "\nObservation I: optimizations with atomic writing drastically lower"
+        " performance.\n"
+        f"  -> atomic-free pull is {worst / pull['gpu_ms']:.1f}x faster than the"
+        " slowest atomic implementation.\n"
+    )
+
+    t2 = table2(cfg128)
+    print(t2.render())
+    thread, warp = t2.records
+    print(
+        "\nObservation II: coalesced memory access brings tremendous"
+        " improvement.\n"
+        f"  -> half-warp mapping is {thread['runtime_ms'] / warp['runtime_ms']:.1f}x"
+        f" faster; sector/request drops {thread['sectors_per_request']:.1f}"
+        f" -> {warp['sectors_per_request']:.1f}.\n"
+    )
+
+    t3 = table3(cfg32)
+    print(t3.render())
+    recs = {r["config"]: r for r in t3.records}
+    print(
+        "\nObservation III: graph convolution should use as few kernels as"
+        " possible.\n"
+        f"  -> one kernel is {recs['DGL']['runtime'] / recs['One-Kernel']['runtime']:.1f}x"
+        f" faster than DGL's 18 and"
+        f" {recs['Three-Kernel']['runtime'] / recs['One-Kernel']['runtime']:.1f}x"
+        " faster than the 3-kernel pipeline."
+    )
+
+
+if __name__ == "__main__":
+    main()

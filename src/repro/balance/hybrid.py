@@ -1,0 +1,81 @@
+"""Heuristic hybrid workload assignment (Section 5).
+
+"We use software-based dynamic workload assignment when the number of
+vertices is over 1M or the average degree is over 50, otherwise we use the
+hardware-based method."
+
+Scaled synthetic datasets stand in for the paper's full-size graphs, so the
+chooser accepts optional full-size hints; the thresholds themselves are the
+paper's constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim.config import GPUSpec
+from ..gpusim.kernel import LaunchConfig
+from ..gpusim.scheduler import ScheduleResult
+from .hardware import hardware_assignment
+from .software import software_assignment
+
+__all__ = [
+    "VERTEX_THRESHOLD",
+    "DEGREE_THRESHOLD",
+    "choose_assignment",
+    "hybrid_assignment",
+]
+
+VERTEX_THRESHOLD = 1_000_000
+DEGREE_THRESHOLD = 50.0
+
+
+def choose_assignment(
+    num_vertices: int,
+    avg_degree: float,
+    *,
+    vertex_threshold: int = VERTEX_THRESHOLD,
+    degree_threshold: float = DEGREE_THRESHOLD,
+) -> str:
+    """The paper's discriminant: returns ``"software"`` or ``"hardware"``."""
+    if num_vertices > vertex_threshold or avg_degree > degree_threshold:
+        return "software"
+    return "hardware"
+
+
+def hybrid_assignment(
+    vertex_cycles: np.ndarray,
+    spec: GPUSpec,
+    *,
+    num_vertices: int | None = None,
+    avg_degree: float | None = None,
+    warps_per_block: int = 4,
+    step: int = 8,
+    regs_per_thread: int = 32,
+) -> tuple[ScheduleResult, LaunchConfig, str]:
+    """Apply the heuristic and schedule accordingly.
+
+    ``num_vertices`` / ``avg_degree`` default to the workload itself but can
+    be overridden with full-size dataset statistics when running scaled
+    stand-ins.
+    """
+    vertex_cycles = np.asarray(vertex_cycles, dtype=np.float64)
+    n = vertex_cycles.size if num_vertices is None else num_vertices
+    deg = avg_degree if avg_degree is not None else 0.0
+    policy = choose_assignment(n, deg)
+    if policy == "software":
+        sched, launch = software_assignment(
+            vertex_cycles,
+            spec,
+            step=step,
+            warps_per_block=warps_per_block * 2,
+            regs_per_thread=regs_per_thread,
+        )
+    else:
+        sched, launch = hardware_assignment(
+            vertex_cycles,
+            spec,
+            warps_per_block=warps_per_block,
+            regs_per_thread=regs_per_thread,
+        )
+    return sched, launch, policy

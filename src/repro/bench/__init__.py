@@ -1,0 +1,57 @@
+"""Benchmark harness: regenerates every table and figure of the paper's
+evaluation section (Tables 1-5, Figures 8-12)."""
+
+from .figures import ABLATION_STAGES, ablation_series, fig8, fig9, fig10, fig11, fig12
+from .harness import (
+    BenchConfig,
+    get_dataset,
+    make_features,
+    run_comparison,
+    run_system,
+)
+from .report import TableResult, render_table
+from .sweep import sweep_feature_dims, sweep_grid, sweep_scales
+from .tables import table1, table2, table3, table4, table5
+from .validate import CLAIMS, ClaimResult, validate_claims
+
+__all__ = [
+    "BenchConfig",
+    "get_dataset",
+    "make_features",
+    "run_system",
+    "run_comparison",
+    "TableResult",
+    "render_table",
+    "sweep_feature_dims",
+    "sweep_scales",
+    "sweep_grid",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablation_series",
+    "validate_claims",
+    "ClaimResult",
+    "CLAIMS",
+    "ABLATION_STAGES",
+]
+
+#: every experiment regenerator, by paper id
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+}

@@ -1,0 +1,101 @@
+"""Experiment runner shared by all table/figure regenerators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from ..frameworks import SYSTEMS, CapacityError, GNNSystem, UnsupportedModelError
+from ..frameworks.base import SystemResult
+from ..gpusim.config import V100, GPUSpec, scaled_spec
+from ..graph.datasets import Dataset, load_dataset
+from ..models import MODEL_NAMES
+
+__all__ = [
+    "BenchConfig",
+    "make_features",
+    "get_dataset",
+    "run_system",
+    "run_comparison",
+]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs every experiment shares.
+
+    ``max_edges`` bounds the synthetic stand-ins (see
+    :func:`repro.graph.datasets.default_scale`); the paper's feature size for
+    the main comparison is 32.
+    """
+
+    feat_dim: int = 32
+    max_edges: int = 2_000_000
+    seed: int = 7
+    spec: GPUSpec = field(default_factory=lambda: V100)
+    #: shrink the modeled device with the dataset's scale factor so ratios
+    #: (and absolute modeled ms) stay comparable to full size
+    scale_device: bool = True
+
+    def spec_for(self, dataset: Dataset) -> GPUSpec:
+        """The device spec to use for a (possibly scaled) dataset."""
+        if self.scale_device and dataset.scale < 1.0:
+            return scaled_spec(self.spec, dataset.scale)
+        return self.spec
+
+
+@lru_cache(maxsize=64)
+def _cached_dataset(abbr: str, max_edges: int, seed: int) -> Dataset:
+    return load_dataset(abbr, max_edges=max_edges, seed=seed)
+
+
+def get_dataset(abbr: str, config: BenchConfig) -> Dataset:
+    """Load (and memoize) a dataset under this config's scaling."""
+    return _cached_dataset(abbr, config.max_edges, config.seed)
+
+
+def make_features(n: int, feat_dim: int, *, seed: int = 0) -> np.ndarray:
+    """Random float32 features, as the paper initializes its inputs."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, feat_dim), dtype=np.float32)
+
+
+def run_system(
+    system: GNNSystem,
+    model: str,
+    dataset: Dataset,
+    config: BenchConfig,
+    *,
+    X: np.ndarray | None = None,
+) -> SystemResult | None:
+    """Run one (system, model, dataset) cell; None where the paper has a dash
+    (unsupported model or capacity failure)."""
+    if X is None:
+        X = make_features(dataset.graph.num_vertices, config.feat_dim, seed=config.seed)
+    try:
+        return system.run(model, dataset, X, config.spec_for(dataset))
+    except (UnsupportedModelError, CapacityError):
+        return None
+
+
+def run_comparison(
+    model: str,
+    abbr: str,
+    config: BenchConfig,
+    *,
+    systems: dict[str, type] | None = None,
+) -> dict[str, SystemResult | None]:
+    """Run all systems on one (model, dataset) cell."""
+    systems = systems or SYSTEMS
+    dataset = get_dataset(abbr, config)
+    X = make_features(dataset.graph.num_vertices, config.feat_dim, seed=config.seed)
+    out: dict[str, SystemResult | None] = {}
+    for name, factory in systems.items():
+        out[name] = run_system(factory(), model, dataset, config, X=X)
+    return out
+
+
+def all_models() -> tuple[str, ...]:
+    return MODEL_NAMES

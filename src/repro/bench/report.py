@@ -1,0 +1,71 @@
+"""Plain-text rendering of reproduced tables and figure series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TableResult", "render_table", "fmt_ms", "fmt_mb", "fmt_pct"]
+
+
+def fmt_ms(seconds_or_ms: float, *, is_ms: bool = True) -> str:
+    v = seconds_or_ms if is_ms else seconds_or_ms * 1e3
+    if v >= 100:
+        return f"{v:.0f}"
+    if v >= 1:
+        return f"{v:.2f}"
+    return f"{v:.3f}"
+
+
+def fmt_mb(num_bytes: float) -> str:
+    mb = num_bytes / 1e6
+    if mb >= 1000:
+        return f"{mb / 1000:.2f} GB"
+    return f"{mb:.1f} MB"
+
+
+def fmt_pct(frac: float) -> str:
+    return f"{100 * frac:.1f}%"
+
+
+@dataclass
+class TableResult:
+    """One regenerated table/figure: rendered rows + raw records."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    #: raw metric dicts for EXPERIMENTS.md / assertions
+    records: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        return render_table(
+            f"{self.exp_id}: {self.title}", self.headers, self.rows, notes=self.notes
+        )
+
+
+def render_table(
+    title: str, headers: list[str], rows: list[list[str]], *, notes: str = ""
+) -> str:
+    """Monospace table with per-column width fitting."""
+    cols = len(headers)
+    for r in rows:
+        if len(r) != cols:
+            raise ValueError(f"row width {len(r)} != header width {cols}")
+    widths = [
+        max(len(str(headers[c])), *(len(str(r[c])) for r in rows), 1)
+        if rows
+        else len(str(headers[c]))
+        for c in range(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = [title, "=" * len(title)]
+    out.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in rows:
+        out.append(" | ".join(str(v).ljust(w) for v, w in zip(r, widths)))
+    if notes:
+        out.append("")
+        out.append(notes)
+    return "\n".join(out)

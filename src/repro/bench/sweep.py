@@ -1,0 +1,131 @@
+"""Generic parameter sweeps over the experiment harness.
+
+The paper's figures are fixed sweeps; downstream users usually want their
+own (feature size × system, scale sensitivity, model × dataset grids).
+This module provides those as composable one-liners that produce the same
+:class:`~repro.bench.report.TableResult` objects the built-in regenerators
+return.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..frameworks import SYSTEMS
+from .harness import BenchConfig, get_dataset, make_features, run_system
+from .report import TableResult, fmt_ms
+
+__all__ = ["sweep_feature_dims", "sweep_scales", "sweep_grid"]
+
+
+def sweep_feature_dims(
+    model: str,
+    abbr: str,
+    *,
+    feat_dims: Sequence[int] = (16, 32, 64, 128),
+    systems: Sequence[str] = ("DGL", "FeatGraph", "TLPGNN"),
+    config: BenchConfig | None = None,
+) -> TableResult:
+    """Runtime of each system as the feature dimension grows."""
+    base = config or BenchConfig()
+    headers = ["System"] + [str(f) for f in feat_dims]
+    rows, records = [], []
+    for name in systems:
+        row = [name]
+        for f in feat_dims:
+            cfg = BenchConfig(
+                feat_dim=f, max_edges=base.max_edges, seed=base.seed,
+                spec=base.spec, scale_device=base.scale_device,
+            )
+            ds = get_dataset(abbr, cfg)
+            res = run_system(SYSTEMS[name](), model, ds, cfg)
+            ms = None if res is None else res.runtime_ms
+            row.append("-" if ms is None else fmt_ms(ms))
+            records.append(
+                {"system": name, "feat_dim": f, "runtime_ms": ms}
+            )
+        rows.append(row)
+    return TableResult(
+        exp_id="sweep",
+        title=f"{model.upper()} on {abbr}: runtime (ms) vs feature dimension",
+        headers=headers,
+        rows=rows,
+        records=records,
+    )
+
+
+def sweep_scales(
+    model: str,
+    abbr: str,
+    *,
+    max_edges: Sequence[int] = (250_000, 500_000, 1_000_000, 2_000_000),
+    system: str = "TLPGNN",
+    config: BenchConfig | None = None,
+) -> TableResult:
+    """Sensitivity of one system's modeled time to the stand-in scale.
+
+    With device scaling on, modeled milliseconds should be roughly
+    scale-invariant — this sweep is the self-check for that property.
+    """
+    base = config or BenchConfig()
+    headers = ["max_edges", "scale", "|V|", "|E|", "runtime_ms"]
+    rows, records = [], []
+    for cap in max_edges:
+        cfg = BenchConfig(
+            feat_dim=base.feat_dim, max_edges=cap, seed=base.seed,
+            spec=base.spec, scale_device=base.scale_device,
+        )
+        ds = get_dataset(abbr, cfg)
+        res = run_system(SYSTEMS[system](), model, ds, cfg)
+        ms = None if res is None else res.runtime_ms
+        rows.append(
+            [
+                f"{cap:,}",
+                f"{ds.scale:g}",
+                f"{ds.graph.num_vertices:,}",
+                f"{ds.graph.num_edges:,}",
+                "-" if ms is None else fmt_ms(ms),
+            ]
+        )
+        records.append(
+            {"max_edges": cap, "scale": ds.scale, "runtime_ms": ms}
+        )
+    return TableResult(
+        exp_id="sweep",
+        title=f"{system} {model.upper()} on {abbr}: scale sensitivity",
+        headers=headers,
+        rows=rows,
+        records=records,
+    )
+
+
+def sweep_grid(
+    *,
+    models: Sequence[str] = ("gcn", "gat"),
+    datasets: Sequence[str] = ("CR", "PI", "RD"),
+    system: str = "TLPGNN",
+    config: BenchConfig | None = None,
+) -> TableResult:
+    """model × dataset runtime grid for one system."""
+    cfg = config or BenchConfig()
+    headers = ["Model"] + list(datasets)
+    rows, records = [], []
+    for model in models:
+        row = [model.upper()]
+        for abbr in datasets:
+            ds = get_dataset(abbr, cfg)
+            X = make_features(ds.graph.num_vertices, cfg.feat_dim, seed=cfg.seed)
+            res = run_system(SYSTEMS[system](), model, ds, cfg, X=X)
+            ms = None if res is None else res.runtime_ms
+            row.append("-" if ms is None else fmt_ms(ms))
+            records.append(
+                {"model": model, "dataset": abbr, "runtime_ms": ms}
+            )
+        rows.append(row)
+    return TableResult(
+        exp_id="sweep",
+        title=f"{system}: runtime (ms) grid",
+        headers=headers,
+        rows=rows,
+        records=records,
+    )

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+datasets            print the Table-4 registry (spec + loaded stand-in)
+run                 profile one (system, model, dataset) cell
+compare             run all four systems on one cell and rank them
+experiment          regenerate a paper table/figure by id (table1..fig12)
+roofline            roofline-classify every kernel of a system's pipeline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import ALL_EXPERIMENTS, BenchConfig, get_dataset, make_features, run_system
+from .frameworks import SYSTEMS
+from .gpusim import roofline
+from .gpusim.costmodel import estimate_kernel
+from .gpusim.occupancy import theoretical_occupancy
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="TLPGNN reproduction: profile GNN graph convolution on a "
+        "modeled GPU.",
+    )
+    p.add_argument(
+        "--max-edges",
+        type=int,
+        default=2_000_000,
+        help="cap for synthetic dataset stand-ins (default 2M)",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--feat", type=int, default=32, help="feature dimension")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print the dataset registry")
+
+    run = sub.add_parser("run", help="profile one system/model/dataset cell")
+    run.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
+    run.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
+    run.add_argument("--dataset", default="CR")
+
+    cmp_ = sub.add_parser("compare", help="run all systems on one cell")
+    cmp_.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
+    cmp_.add_argument("--dataset", default="CR")
+
+    exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp.add_argument("id", choices=sorted(ALL_EXPERIMENTS))
+
+    val = sub.add_parser("validate", help="check the paper's shape claims")
+    val.add_argument("--only", nargs="*", help="claim ids to run (default all)")
+
+    rep = sub.add_parser("report", help="regenerate every table & figure")
+    rep.add_argument("--out", default=None,
+                     help="write the full report to this file (default stdout)")
+
+    roof = sub.add_parser("roofline", help="roofline-classify a pipeline")
+    roof.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
+    roof.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
+    roof.add_argument("--dataset", default="CR")
+    return p
+
+
+def _config(args: argparse.Namespace) -> BenchConfig:
+    return BenchConfig(feat_dim=args.feat, max_edges=args.max_edges, seed=args.seed)
+
+
+def _cell(args, config):
+    dataset = get_dataset(args.dataset, config)
+    X = make_features(dataset.graph.num_vertices, config.feat_dim, seed=config.seed)
+    return dataset, X
+
+
+def cmd_datasets(args: argparse.Namespace, out) -> int:
+    from .bench import table4
+
+    print(table4(_config(args)).render(), file=out)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    config = _config(args)
+    dataset, X = _cell(args, config)
+    res = run_system(SYSTEMS[args.system](), args.model, dataset, config, X=X)
+    if res is None:
+        print(
+            f"{args.system} cannot run {args.model} on {args.dataset} "
+            "(unsupported model or capacity failure — a dash in the paper)",
+            file=out,
+        )
+        return 1
+    print(res.report.summary(), file=out)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace, out) -> int:
+    config = _config(args)
+    dataset, X = _cell(args, config)
+    rows = []
+    for name, factory in SYSTEMS.items():
+        res = run_system(factory(), args.model, dataset, config, X=X)
+        rows.append((name, res.runtime_ms if res else None))
+    ok = [(n, t) for n, t in rows if t is not None]
+    best = min(t for _, t in ok)
+    print(f"{args.model.upper()} on {args.dataset} "
+          f"(|V|={dataset.graph.num_vertices:,}, |E|={dataset.graph.num_edges:,}):",
+          file=out)
+    for name, t in sorted(ok, key=lambda r: r[1]):
+        marker = " <- fastest" if t == best else f"  ({t / best:.2f}x)"
+        print(f"  {name:<12} {t:10.4f} ms{marker}", file=out)
+    for name, t in rows:
+        if t is None:
+            print(f"  {name:<12} {'-':>10}  (dash, as in the paper)", file=out)
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace, out) -> int:
+    config = _config(args)
+    if args.id in ("table1", "table2") and args.feat == 32:
+        config = BenchConfig(
+            feat_dim=128, max_edges=args.max_edges, seed=args.seed
+        )
+    result = ALL_EXPERIMENTS[args.id](config)
+    print(result.render(), file=out)
+    return 0
+
+
+def cmd_roofline(args: argparse.Namespace, out) -> int:
+    config = _config(args)
+    dataset, X = _cell(args, config)
+    spec = config.spec_for(dataset)
+    system = SYSTEMS[args.system]()
+    res = run_system(system, args.model, dataset, config, X=X)
+    if res is None:
+        print("cell not supported", file=out)
+        return 1
+    # re-estimate per kernel so each gets its own roofline point
+    print(
+        f"{args.system} / {args.model} / {args.dataset} "
+        f"({res.report.kernel_launches} kernel(s)):",
+        file=out,
+    )
+    for stats in res.report.stats.kernels:
+        from .gpusim.scheduler import ScheduleResult
+
+        sched = ScheduleResult(
+            makespan_cycles=float(stats.warp_cycles.sum())
+            if stats.warp_cycles.size
+            else 1.0,
+            busy_warp_cycles=float(stats.warp_cycles.sum()),
+            overhead_cycles=0.0,
+            num_units=1,
+            policy="report",
+        )
+        timing = next(
+            (k for k in res.report.timing.kernels if k.name == stats.name),
+            None,
+        )
+        if timing is None:
+            occ = theoretical_occupancy(stats.launch, spec).theoretical
+            timing = estimate_kernel(stats, sched, spec, theoretical_occupancy=occ)
+        print("  " + roofline(stats, timing, spec).describe(), file=out)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out) -> int:
+    config = _config(args)
+    config128 = BenchConfig(
+        feat_dim=128, max_edges=args.max_edges, seed=args.seed
+    )
+    sections = []
+    for exp_id, fn in ALL_EXPERIMENTS.items():
+        cfg = config128 if exp_id in ("table1", "table2") else config
+        sections.append(fn(cfg).render())
+    report = "\n\n".join(sections)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(report + "\n")
+        print(f"wrote {len(sections)} experiments to {args.out}", file=out)
+    else:
+        print(report, file=out)
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace, out) -> int:
+    from .bench import validate_claims
+
+    results = validate_claims(_config(args), only=args.only)
+    failed = 0
+    for r in results:
+        status = "PASS" if r.passed else "FAIL"
+        failed += not r.passed
+        print(f"[{status}] {r.claim_id}: {r.description}", file=out)
+        print(f"       {r.detail}", file=out)
+    print(f"\n{len(results) - failed}/{len(results)} claims hold", file=out)
+    return 1 if failed else 0
+
+
+_COMMANDS = {
+    "datasets": cmd_datasets,
+    "validate": cmd_validate,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "experiment": cmd_experiment,
+    "report": cmd_report,
+    "roofline": cmd_roofline,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""GNN computation systems compared in the paper's evaluation: DGL,
+GNNAdvisor, FeatGraph, and the TLPGNN engine."""
+
+from .base import CapacityError, GNNSystem, SystemResult, UnsupportedModelError
+from .dglsim import DGL_KERNEL_COUNTS, DGLSystem
+from .featgraph import FeatGraphSystem
+from .gnnadvisor import GNNAdvisorSystem
+from .tlpgnn_engine import TLPGNNEngine
+
+__all__ = [
+    "GNNSystem",
+    "SystemResult",
+    "UnsupportedModelError",
+    "CapacityError",
+    "DGLSystem",
+    "DGL_KERNEL_COUNTS",
+    "GNNAdvisorSystem",
+    "FeatGraphSystem",
+    "TLPGNNEngine",
+    "SYSTEMS",
+]
+
+#: Factory registry in the paper's comparison order.
+SYSTEMS = {
+    "DGL": DGLSystem,
+    "GNNAdvisor": GNNAdvisorSystem,
+    "FeatGraph": FeatGraphSystem,
+    "TLPGNN": TLPGNNEngine,
+}

@@ -1,0 +1,122 @@
+"""Framework base: what a "GNN computation system" is in this reproduction.
+
+A system takes a model name + graph + input features, runs the graph
+convolution its own way (its kernel pipeline), and returns the output plus
+a :class:`~repro.gpusim.profiler.ProfileReport` with modeled timing and
+counters.  All systems must produce numerically identical outputs — the
+test suite enforces it — so Table 5 compares *how*, not *what*.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.config import V100, GPUSpec
+from ..gpusim.costmodel import KernelTiming, estimate_kernel, estimate_pipeline
+from ..gpusim.kernel import KernelStats, PipelineStats
+from ..gpusim.occupancy import theoretical_occupancy
+from ..gpusim.profiler import ProfileReport
+from ..gpusim.scheduler import ScheduleResult
+from ..graph.csr import CSRGraph
+from ..graph.datasets import Dataset
+
+__all__ = ["GNNSystem", "SystemResult", "UnsupportedModelError", "CapacityError"]
+
+
+class UnsupportedModelError(NotImplementedError):
+    """The system does not implement this GNN model (GNNAdvisor ⊅ GAT/Sage)."""
+
+
+class CapacityError(RuntimeError):
+    """The system cannot handle the workload (GNNAdvisor's illegal memory
+    access on the four largest graphs)."""
+
+
+@dataclass
+class SystemResult:
+    """Output features + profile of one convolution execution."""
+
+    output: np.ndarray
+    report: ProfileReport
+
+    @property
+    def runtime_ms(self) -> float:
+        return self.report.runtime_ms
+
+
+class GNNSystem(ABC):
+    """A GNN computation system (DGL / GNNAdvisor / FeatGraph / TLPGNN)."""
+
+    name: str = "system"
+    #: per-kernel host dispatch cost of the system's runtime loop (seconds);
+    #: None = bare kernel launches only (no framework layer between kernels)
+    dispatch_seconds: float | None = None
+
+    @abstractmethod
+    def supports(self, model: str) -> bool:
+        """Whether the system implements this model's convolution."""
+
+    @abstractmethod
+    def _pipeline(
+        self,
+        model: str,
+        graph: CSRGraph,
+        X: np.ndarray,
+        spec: GPUSpec,
+        *,
+        dataset: Dataset | None,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, PipelineStats, list[tuple[KernelStats, ScheduleResult]]]:
+        """Build & run the system's kernel pipeline for the workload."""
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        model: str,
+        data: CSRGraph | Dataset,
+        X: np.ndarray,
+        spec: GPUSpec = V100,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> SystemResult:
+        """Execute the model's graph convolution and profile it."""
+        model = model.lower()
+        if not self.supports(model):
+            raise UnsupportedModelError(f"{self.name} does not implement {model}")
+        dataset = data if isinstance(data, Dataset) else None
+        graph = data.graph if dataset is not None else data
+        self.check_capacity(graph, dataset)
+        rng = rng or np.random.default_rng(0)
+        output, pipeline, parts = self._pipeline(
+            model, graph, X, spec, dataset=dataset, rng=rng
+        )
+        timings: list[KernelTiming] = []
+        for stats, sched in parts:
+            occ = theoretical_occupancy(stats.launch, spec).theoretical
+            timings.append(
+                estimate_kernel(stats, sched, spec, theoretical_occupancy=occ)
+            )
+        if self.dispatch_seconds is not None:
+            eff_spec = spec.with_overrides(
+                framework_dispatch_seconds=self.dispatch_seconds
+            )
+            timing = estimate_pipeline(
+                pipeline, timings, eff_spec, framework_dispatch=True
+            )
+        else:
+            timing = estimate_pipeline(pipeline, timings, spec)
+        report = ProfileReport(
+            system=self.name,
+            model=model,
+            dataset=graph.name,
+            timing=timing,
+            stats=pipeline,
+        )
+        return SystemResult(output=output, report=report)
+
+    def check_capacity(self, graph: CSRGraph, dataset: Dataset | None) -> None:
+        """Raise :class:`CapacityError` if the workload exceeds the system's
+        limits (default: no limits)."""

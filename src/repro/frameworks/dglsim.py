@@ -1,0 +1,201 @@
+"""DGL-like baseline: graph convolution via many fine-grained kernels.
+
+DGL composes graph convolution from generic sparse kernels (cuSPARSE SpMM
+plus gather/scatter/elementwise glue), materializing every intermediate in
+global memory.  The paper counts 6 / 8 / 10 / 18 kernel launches for
+GCN / GIN / GraphSAGE / GAT; this model reproduces those pipelines
+kernel-for-kernel, with each launch costed by
+:func:`~repro.kernels.fusion.streaming_kernel_stats` and the per-kernel
+Python dispatch overhead DGL pays ("Runtime − GPU time" in Table 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim.config import GPUSpec
+from ..gpusim.kernel import KernelStats, PipelineStats
+from ..gpusim.scheduler import ScheduleResult
+from ..gpusim.warpcost import warp_cycles
+from ..graph.csr import CSRGraph
+from ..kernels.base import feature_row_sectors, index_span_sectors
+from ..kernels.fusion import streaming_kernel_stats
+from ..models import build_conv
+from ..models.convspec import reference_aggregate
+from .base import GNNSystem
+
+__all__ = ["DGLSystem"]
+
+#: kernel-launch counts the paper measures for DGL
+DGL_KERNEL_COUNTS = {"gcn": 6, "gin": 8, "sage": 10, "gat": 18}
+
+
+class DGLSystem(GNNSystem):
+    """Multi-kernel SpMM-based pipeline with framework dispatch overhead."""
+
+    name = "DGL"
+    dispatch_seconds = 60e-6
+
+    #: cuSPARSE SpMM efficiency boost on near-regular degree distributions
+    #: (the effect that lets DGL win on OA in the paper).
+    spmm_regular_boost: float = 0.55
+
+    def supports(self, model: str) -> bool:
+        return model in DGL_KERNEL_COUNTS
+
+    # ------------------------------------------------------------------
+    def _spmm(
+        self,
+        graph: CSRGraph,
+        feat_dim: int,
+        spec: GPUSpec,
+        *,
+        weighted: bool,
+        coo_atomic: bool = False,
+    ) -> tuple[KernelStats, ScheduleResult]:
+        """SpMM kernel: cuSPARSE CSR row-parallel, or (for the per-edge
+        weighted GAT aggregation) the COO scatter path with atomicAdd —
+        the reason DGL's GAT is its slowest model on large graphs."""
+        n, E = graph.num_vertices, graph.num_edges
+        SF = feature_row_sectors(feat_dim)
+        amap = make_amap_dim(graph, feat_dim)
+        d = graph.in_degrees.astype(np.float64)
+        # cuSPARSE row-splits long rows; effectiveness grows when the degree
+        # distribution is regular (low skew), which we model as a work
+        # discount toward the mean.
+        mean = d.mean() if d.size else 0.0
+        skew = float(d.std() / (mean + 1e-9)) if d.size else 0.0
+        smoothing = self.spmm_regular_boost / (1.0 + skew)
+        eff_d = d * (1.0 - smoothing) + mean * smoothing
+        cycles = warp_cycles(
+            spec,
+            instructions=4.0 + eff_d * (2 + -(-feat_dim // 32)),
+            requests=3.0 + eff_d * (1 + weighted + -(-feat_dim // 32)),
+            sectors=3.0
+            + index_span_sectors(graph.indptr, base=amap.indices_base)
+            + eff_d * (1 + weighted + SF)
+            + SF,
+        )
+        stats, sched = streaming_kernel_stats(
+            "spmm_coo_atomic" if coo_atomic else "spmm",
+            E,
+            spec,
+            read_bytes_per_item=4.0 * (1 + weighted),
+            write_bytes_per_item=4.0 * feat_dim * n / max(E, 1),
+            gather_touches=E * SF,
+            gather_unique_sectors=n * SF,
+            instr_per_item=2.0 + SF,
+            segment_imbalance=cycles,
+            l2_efficiency=0.25,
+        )
+        if coo_atomic:
+            from ..gpusim.atomics import scatter_collision_rate
+            from ..gpusim.memory import cached_dram_sectors
+
+            stats.atomic_ops = E * feat_dim
+            stats.atomic_collision_rate = scatter_collision_rate(graph.in_degrees)
+            stats.atomic_requests = E * (-(-feat_dim // 32))
+            stats.atomic_sectors = cached_dram_sectors(
+                E * SF, n * SF, int(spec.l2_bytes * 0.25)
+            )
+            stats.l1_atomic_sectors = E * SF
+        return stats, sched
+
+    def _elementwise(
+        self,
+        name: str,
+        items: int,
+        spec: GPUSpec,
+        *,
+        reads: float = 2,
+        writes: float = 1,
+        workspace_items: float | None = None,
+        gather: tuple[int, int] | None = None,
+    ) -> tuple[KernelStats, ScheduleResult]:
+        g = gather or (0, 0)
+        ws = items if workspace_items is None else workspace_items
+        return streaming_kernel_stats(
+            name,
+            items,
+            spec,
+            read_bytes_per_item=4.0 * reads,
+            write_bytes_per_item=4.0 * writes,
+            gather_touches=g[0],
+            gather_unique_sectors=g[1],
+            instr_per_item=3.0,
+            workspace_bytes=int(4 * ws),
+            l2_efficiency=0.5,
+        )
+
+    # ------------------------------------------------------------------
+    def _pipeline(self, model, graph, X, spec, *, dataset, rng):
+        n, E, Fdim = graph.num_vertices, graph.num_edges, X.shape[1]
+        nf = n * Fdim
+        att_sec = -(-4 * n // 32)
+        workload = build_conv(model, graph, X, rng=rng)
+        output = reference_aggregate(workload)
+
+        k: list[tuple[KernelStats, ScheduleResult]] = []
+        ew = self._elementwise
+        if model == "gcn":
+            k.append(ew("degs", n, spec, reads=2, writes=1))
+            k.append(ew("u_mul_norm", nf, spec, reads=2, writes=1))
+            k.append(ew("csr_check", E, spec, reads=1, writes=1))
+            k.append(self._spmm(graph, Fdim, spec, weighted=False))
+            k.append(ew("v_mul_norm", nf, spec, reads=2, writes=1))
+            k.append(ew("add_self", nf, spec, reads=2, writes=1))
+        elif model == "gin":
+            k.append(ew("degs", n, spec, reads=2, writes=1))
+            k.append(ew("copy_u", nf, spec, reads=1, writes=1))
+            k.append(ew("csr_check", E, spec, reads=1, writes=1))
+            k.append(self._spmm(graph, Fdim, spec, weighted=False))
+            k.append(ew("eps_scale", nf, spec, reads=1, writes=1))
+            k.append(ew("add_self", nf, spec, reads=2, writes=1))
+            k.append(ew("fill", nf, spec, reads=0.5, writes=1))
+            k.append(ew("cast", nf, spec, reads=1, writes=1))
+        elif model == "sage":
+            k.append(ew("degs", n, spec, reads=2, writes=1))
+            k.append(ew("copy_u", nf, spec, reads=1, writes=1))
+            k.append(ew("csr_check", E, spec, reads=1, writes=1))
+            k.append(self._spmm(graph, Fdim, spec, weighted=False))
+            k.append(ew("count", n, spec, reads=1, writes=1))
+            k.append(ew("clamp", n, spec, reads=1, writes=1))
+            k.append(ew("div_deg", nf, spec, reads=2, writes=1))
+            k.append(ew("fill", nf, spec, reads=0.5, writes=1))
+            k.append(ew("concat_prep", nf, spec, reads=1, writes=1))
+            k.append(ew("cast", nf, spec, reads=1, writes=1))
+        elif model == "gat":
+            k.append(ew("att_src_proj", n, spec, reads=Fdim, writes=1))
+            k.append(ew("att_dst_proj", n, spec, reads=Fdim, writes=1))
+            k.append(ew("gather_u", E, spec, reads=1, writes=1, gather=(E, att_sec)))
+            k.append(ew("gather_v", E, spec, reads=1, writes=1, gather=(E, att_sec)))
+            k.append(ew("edge_add", E, spec, reads=2, writes=1))
+            k.append(ew("leaky_relu", E, spec, reads=1, writes=1))
+            k.append(ew("copy_e", E, spec, reads=1, writes=1))
+            k.append(ew("segment_max", E, spec, reads=1, writes=n / max(E, 1)))
+            k.append(ew("gather_max", E, spec, reads=1, writes=1, gather=(E, att_sec)))
+            k.append(ew("sub", E, spec, reads=2, writes=1))
+            k.append(ew("exp", E, spec, reads=1, writes=1))
+            k.append(ew("segment_sum", E, spec, reads=1, writes=n / max(E, 1)))
+            k.append(ew("gather_sum", E, spec, reads=1, writes=1, gather=(E, att_sec)))
+            k.append(ew("div", E, spec, reads=2, writes=1))
+            k.append(ew("coo2csr", E, spec, reads=2, writes=2))
+            k.append(self._spmm(graph, Fdim, spec, weighted=True, coo_atomic=True))
+            k.append(ew("reshape_out", nf, spec, reads=1, writes=1))
+            k.append(ew("cast_out", nf, spec, reads=1, writes=1))
+        else:  # pragma: no cover - guarded by supports()
+            raise AssertionError(model)
+
+        expected = DGL_KERNEL_COUNTS[model]
+        assert len(k) == expected, f"{model}: {len(k)} kernels != {expected}"
+        pipeline = PipelineStats(name=f"dgl_{model}")
+        for stats, _sched in k:
+            pipeline.add(stats)
+        return output, pipeline, k
+
+
+def make_amap_dim(graph: CSRGraph, feat_dim: int):
+    """AddressMap helper for pipelines that don't carry a workload object."""
+    from ..gpusim.microsim import AddressMap
+
+    return AddressMap.create(graph.num_vertices, graph.num_edges, feat_dim)

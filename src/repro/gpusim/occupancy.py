@@ -1,0 +1,87 @@
+"""Occupancy computation — theoretical and achieved.
+
+Theoretical occupancy follows the CUDA occupancy-calculator rules (resident
+warps limited by warp slots, registers, shared memory, block slots).
+Achieved occupancy is derived from the scheduler's makespan: it is the
+time-average fraction of warp slots doing useful work, which is how Nsight
+defines it and why imbalanced workloads show low values (Fig 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import GPUSpec
+from .kernel import LaunchConfig
+
+__all__ = ["OccupancyReport", "theoretical_occupancy", "achieved_occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Occupancy limits of one launch configuration."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    theoretical: float
+    limited_by: str
+
+
+def theoretical_occupancy(launch: LaunchConfig, spec: GPUSpec) -> OccupancyReport:
+    """Occupancy-calculator result for ``launch`` on ``spec``."""
+    warps_per_block = launch.warps_per_block(spec.threads_per_warp)
+    by_warps = spec.max_warps_per_sm // warps_per_block
+    by_regs = spec.registers_per_sm // max(
+        launch.regs_per_thread * launch.threads_per_block, 1
+    )
+    by_smem = (
+        spec.shared_mem_per_sm // launch.shared_mem_per_block
+        if launch.shared_mem_per_block > 0
+        else spec.max_blocks_per_sm
+    )
+    by_slots = spec.max_blocks_per_sm
+    limits = {
+        "warps": by_warps,
+        "registers": by_regs,
+        "shared_memory": by_smem,
+        "block_slots": by_slots,
+    }
+    limiter = min(limits, key=limits.get)
+    blocks = max(min(limits.values()), 0)
+    # A grid smaller than the device also caps resident blocks.
+    grid_blocks_per_sm = -(-launch.num_blocks // spec.num_sms)
+    if grid_blocks_per_sm < blocks:
+        blocks = grid_blocks_per_sm
+        limiter = "grid_size"
+    warps = blocks * warps_per_block
+    return OccupancyReport(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        theoretical=min(warps / spec.max_warps_per_sm, 1.0),
+        limited_by=limiter,
+    )
+
+
+def achieved_occupancy(
+    warp_cycles: np.ndarray,
+    makespan_cycles: float,
+    spec: GPUSpec,
+    *,
+    resident_limit: float | None = None,
+) -> float:
+    """Time-average active-warp fraction over the kernel's execution.
+
+    ``sum(warp_cycles)`` is total warp-busy time; dividing by the makespan
+    and the device's warp-slot count gives the average occupied fraction —
+    exactly Nsight's achieved-occupancy semantics.  ``resident_limit``
+    optionally caps the value at the theoretical occupancy.
+    """
+    if makespan_cycles <= 0:
+        return 0.0
+    total = float(np.sum(warp_cycles))
+    occ = total / (makespan_cycles * spec.max_resident_warps)
+    if resident_limit is not None:
+        occ = min(occ, resident_limit)
+    return float(min(occ, 1.0))

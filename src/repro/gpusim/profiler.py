@@ -1,0 +1,140 @@
+"""Nsight-Compute-style profile reports.
+
+Collects the metric set Section 2.3 of the paper uses — runtime, GPU time,
+memory load traffic, atomic store traffic, sector/request, stall for long
+scoreboard, SM utilization, achieved occupancy, kernel launches — into a
+single report object that the tables/figures render directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .costmodel import PipelineTiming
+from .kernel import PipelineStats
+
+__all__ = ["ProfileReport"]
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024 or unit == "TB":
+            return f"{n:.2f} {unit}"
+        n /= 1024
+    return f"{n:.2f} TB"
+
+
+@dataclass
+class ProfileReport:
+    """The full profile of one graph-convolution execution."""
+
+    system: str
+    model: str
+    dataset: str
+    timing: PipelineTiming
+    stats: PipelineStats
+    extras: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # the paper's metric names
+    # ------------------------------------------------------------------
+    @property
+    def runtime_ms(self) -> float:
+        return self.timing.runtime_seconds * 1e3
+
+    @property
+    def gpu_time_ms(self) -> float:
+        return self.timing.gpu_seconds * 1e3
+
+    @property
+    def launch_overhead_ms(self) -> float:
+        """The "Runtime - GPU time" row of Table 3."""
+        return self.timing.launch_seconds * 1e3
+
+    @property
+    def preprocess_ms(self) -> float:
+        return self.timing.preprocess_seconds * 1e3
+
+    @property
+    def total_ms(self) -> float:
+        return self.timing.total_seconds * 1e3
+
+    @property
+    def kernel_launches(self) -> int:
+        return self.stats.num_kernels
+
+    @property
+    def mem_load_bytes(self) -> int:
+        return self.stats.load_bytes
+
+    @property
+    def mem_atomic_store_bytes(self) -> int:
+        return self.stats.atomic_bytes
+
+    @property
+    def mem_total_bytes(self) -> int:
+        return self.stats.total_bytes
+
+    @property
+    def global_mem_usage_bytes(self) -> int:
+        """Workspace the pipeline materializes in DRAM (Table 3 row)."""
+        return self.stats.total_workspace_bytes
+
+    @property
+    def sm_utilization(self) -> float:
+        return self.timing.avg_sm_utilization
+
+    @property
+    def achieved_occupancy(self) -> float:
+        return self.timing.avg_occupancy
+
+    @property
+    def stall_long_scoreboard(self) -> float:
+        return self.timing.avg_stall_scoreboard
+
+    @property
+    def sectors_per_request(self) -> float:
+        sectors = sum(k.total_sectors for k in self.stats.kernels)
+        requests = sum(k.total_requests for k in self.stats.kernels)
+        return sectors / requests if requests else 0.0
+
+    def as_dict(self) -> dict:
+        """Flat metric dict for table rendering / EXPERIMENTS.md records."""
+        return {
+            "system": self.system,
+            "model": self.model,
+            "dataset": self.dataset,
+            "runtime_ms": self.runtime_ms,
+            "gpu_time_ms": self.gpu_time_ms,
+            "launch_overhead_ms": self.launch_overhead_ms,
+            "preprocess_ms": self.preprocess_ms,
+            "kernel_launches": self.kernel_launches,
+            "mem_load_bytes": self.mem_load_bytes,
+            "mem_atomic_store_bytes": self.mem_atomic_store_bytes,
+            "mem_total_bytes": self.mem_total_bytes,
+            "global_mem_usage_bytes": self.global_mem_usage_bytes,
+            "sm_utilization": self.sm_utilization,
+            "achieved_occupancy": self.achieved_occupancy,
+            "stall_long_scoreboard": self.stall_long_scoreboard,
+            "sectors_per_request": self.sectors_per_request,
+            **self.extras,
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-block summary (quickstart example output)."""
+        d = self.as_dict()
+        lines = [
+            f"{self.system} / {self.model} / {self.dataset}",
+            f"  runtime            : {d['runtime_ms']:.3f} ms "
+            f"(GPU {d['gpu_time_ms']:.3f} ms + host {d['launch_overhead_ms']:.3f} ms)",
+            f"  kernel launches    : {d['kernel_launches']}",
+            f"  mem load traffic   : {_fmt_bytes(d['mem_load_bytes'])}",
+            f"  atomic store traffic: {_fmt_bytes(d['mem_atomic_store_bytes'])}",
+            f"  sector/request     : {d['sectors_per_request']:.2f}",
+            f"  SM utilization     : {100 * d['sm_utilization']:.1f}%",
+            f"  achieved occupancy : {100 * d['achieved_occupancy']:.1f}%",
+            f"  stall long scoreboard: {d['stall_long_scoreboard']:.1f} cycles",
+        ]
+        if d["preprocess_ms"] > 0:
+            lines.append(f"  pre-processing     : {d['preprocess_ms']:.3f} ms")
+        return "\n".join(lines)

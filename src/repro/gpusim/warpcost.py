@@ -1,0 +1,47 @@
+"""Per-warp cycle cost assembly.
+
+Every kernel expresses the serial cost of one scheduled unit (a warp's
+whole vertex workload, or one pool chunk) from four ingredients:
+instructions issued, memory requests issued, sectors moved, and atomic
+serialization.  Keeping this in one place makes kernels comparable and the
+calibration auditable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .atomics import atomic_serialization_cycles
+from .config import GPUSpec
+
+__all__ = ["warp_cycles"]
+
+
+def warp_cycles(
+    spec: GPUSpec,
+    *,
+    instructions: np.ndarray | float,
+    requests: np.ndarray | float,
+    sectors: np.ndarray | float,
+    atomic_ops: np.ndarray | float = 0.0,
+    collision_rate: float = 0.0,
+) -> np.ndarray:
+    """Serial cycles for scheduled unit(s) with the given per-unit counters.
+
+    All arguments broadcast; the result is a float64 array.  Atomic cost is
+    charged per unit with the supplied collision rate (see
+    :func:`repro.gpusim.atomics.atomic_serialization_cycles`).
+    """
+    instructions = np.asarray(instructions, dtype=np.float64)
+    requests = np.asarray(requests, dtype=np.float64)
+    sectors = np.asarray(sectors, dtype=np.float64)
+    atomic_ops = np.asarray(atomic_ops, dtype=np.float64)
+    base = (
+        instructions * spec.cycles_per_instr
+        + requests * spec.cycles_per_request
+        + sectors * spec.cycles_per_sector
+    )
+    if np.any(atomic_ops > 0):
+        per_op = atomic_serialization_cycles(1, collision_rate, spec)
+        base = base + atomic_ops * per_op
+    return np.atleast_1d(base.astype(np.float64))

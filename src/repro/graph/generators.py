@@ -1,0 +1,183 @@
+"""Vectorized synthetic graph generators.
+
+The paper evaluates on real datasets; with no network access we synthesize
+graphs that preserve the statistics the paper's claims depend on: vertex
+count, edge count / average degree, and degree skew.  All generators are
+deterministic given ``seed`` and produce in-neighbour :class:`CSRGraph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph, from_edge_list
+
+__all__ = [
+    "erdos_renyi",
+    "power_law",
+    "rmat",
+    "regular",
+    "star",
+    "chain",
+    "complete",
+    "empty",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    seed: int | None = 0,
+    allow_self_loops: bool = False,
+    name: str = "erdos_renyi",
+) -> CSRGraph:
+    """Uniform random directed multigraph with exactly ``num_edges`` edges."""
+    rng = _rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    if not allow_self_loops and num_vertices > 1:
+        loops = src == dst
+        # Rotate self-loop targets by one; keeps |E| fixed and stays uniform
+        # enough for our purposes.
+        dst[loops] = (dst[loops] + 1) % num_vertices
+    return from_edge_list(src, dst, num_vertices, name=name)
+
+
+def power_law(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    exponent: float = 2.1,
+    max_degree: int | None = None,
+    seed: int | None = 0,
+    name: str = "power_law",
+) -> CSRGraph:
+    """Directed graph whose in-degrees follow a truncated power law.
+
+    Destination vertices are sampled proportionally to ``rank^-1/(exponent-1)``
+    (Zipf-like), giving the heavy-tailed degree distribution that makes
+    vertex-parallel workloads imbalanced — the property the paper's hybrid
+    workload balancing targets.  ``max_degree`` caps the *expected* degree of
+    the hottest vertex so scaled-down stand-ins keep the hub share of the
+    original dataset instead of over-concentrating.
+    """
+    if exponent <= 1.0:
+        raise ValueError("exponent must be > 1")
+    rng = _rng(seed)
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    weights /= weights.sum()
+    if max_degree is not None and num_edges > 0:
+        cap = max_degree / num_edges
+        for _ in range(4):  # cap-and-renormalize until stable
+            over = weights > cap
+            if not over.any():
+                break
+            weights = np.minimum(weights, cap)
+            weights /= weights.sum()
+    dst = rng.choice(num_vertices, size=num_edges, p=weights).astype(np.int64)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    if num_vertices > 1:
+        loops = src == dst
+        src[loops] = (src[loops] + 1) % num_vertices
+    # Shuffle vertex ids so the hubs are not the low ids; keeps locality
+    # effects realistic for the reordering experiments.
+    perm = rng.permutation(num_vertices).astype(np.int64)
+    return from_edge_list(perm[src], perm[dst], num_vertices, name=name)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | None = 0,
+    name: str = "rmat",
+) -> CSRGraph:
+    """R-MAT generator (Graph500-style) — ``2**scale`` vertices.
+
+    Vectorized over all edges at once: each of the ``scale`` bit positions is
+    drawn for every edge in one shot.
+    """
+    if not 0 < a + b + c < 1:
+        raise ValueError("a+b+c must be in (0,1)")
+    rng = _rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(m)
+        src_bit = (r >= a + b).astype(np.int64)
+        r2 = rng.random(m)
+        # Conditional on the source bit, pick the destination bit from the
+        # matching quadrant probabilities.
+        p_top = np.where(src_bit == 0, a / (a + b), c / (1.0 - a - b))
+        dst_bit = (r2 >= p_top).astype(np.int64)
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+    if n > 1:
+        loops = src == dst
+        dst[loops] = (dst[loops] + 1) % n
+    return from_edge_list(src, dst, n, name=name)
+
+
+def regular(
+    num_vertices: int,
+    degree: int,
+    *,
+    seed: int | None = 0,
+    name: str = "regular",
+) -> CSRGraph:
+    """Every vertex has exactly ``degree`` in-neighbours (random sources)."""
+    rng = _rng(seed)
+    dst = np.repeat(np.arange(num_vertices, dtype=np.int64), degree)
+    src = rng.integers(0, num_vertices, size=num_vertices * degree, dtype=np.int64)
+    if num_vertices > 1:
+        loops = src == dst
+        src[loops] = (src[loops] + 1) % num_vertices
+    return from_edge_list(src, dst, num_vertices, name=name)
+
+
+def star(num_vertices: int, *, name: str = "star") -> CSRGraph:
+    """All other vertices point at vertex 0 — maximal degree skew."""
+    if num_vertices < 1:
+        raise ValueError("need at least one vertex")
+    src = np.arange(1, num_vertices, dtype=np.int64)
+    dst = np.zeros(num_vertices - 1, dtype=np.int64)
+    return from_edge_list(src, dst, num_vertices, name=name)
+
+
+def chain(num_vertices: int, *, name: str = "chain") -> CSRGraph:
+    """Path graph i -> i+1 — perfectly balanced degree-1 workload."""
+    src = np.arange(0, num_vertices - 1, dtype=np.int64)
+    dst = src + 1
+    return from_edge_list(src, dst, num_vertices, name=name)
+
+
+def complete(num_vertices: int, *, name: str = "complete") -> CSRGraph:
+    """Complete directed graph without self loops."""
+    v = np.arange(num_vertices, dtype=np.int64)
+    src = np.repeat(v, num_vertices)
+    dst = np.tile(v, num_vertices)
+    keep = src != dst
+    return from_edge_list(src[keep], dst[keep], num_vertices, name=name)
+
+
+def empty(num_vertices: int, *, name: str = "empty") -> CSRGraph:
+    """Graph with no edges (kernel edge-case exercise)."""
+    return CSRGraph(
+        indptr=np.zeros(num_vertices + 1, dtype=np.int64),
+        indices=np.zeros(0, dtype=np.int64),
+        num_vertices=num_vertices,
+        name=name,
+    )

@@ -1,0 +1,138 @@
+"""Kernel base class and shared counter helpers.
+
+All graph-convolution kernels expose the same three-tier interface:
+
+* ``run(workload)`` — exact functional output (vectorized numpy mirroring
+  the kernel's math; every kernel must agree with the reference).
+* ``analyze(workload, spec)`` — vectorized counter model producing
+  :class:`~repro.gpusim.kernel.KernelStats` and a schedule.
+* ``trace(workload, sim)`` — replay the access pattern warp by warp
+  through the micro-simulator (small graphs; validates ``analyze``).
+
+Kernels are *feature-parallel in the lanes* (the paper's second level)
+except :class:`~repro.kernels.pull_thread.PullThreadKernel`, which is the
+uncoalesced thread-per-vertex anti-pattern of Table 2.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.config import V100, GPUSpec
+from ..gpusim.costmodel import KernelTiming, estimate_kernel
+from ..gpusim.kernel import KernelStats, LaunchConfig
+from ..gpusim.microsim import AddressMap, MicroSim
+from ..gpusim.occupancy import theoretical_occupancy
+from ..gpusim.scheduler import ScheduleResult
+from ..models.convspec import ConvWorkload, reference_aggregate
+
+__all__ = [
+    "ConvKernel",
+    "KernelResult",
+    "feature_row_sectors",
+    "feature_rounds",
+    "index_span_sectors",
+    "make_amap",
+]
+
+
+def feature_row_sectors(feat_dim: int, *, sector_bytes: int = 32) -> int:
+    """Sectors one full float32 feature row occupies (``ceil(4F/32)``)."""
+    if feat_dim <= 0:
+        raise ValueError("feat_dim must be positive")
+    return -(-4 * feat_dim // sector_bytes)
+
+
+def feature_rounds(feat_dim: int, lanes: int = 32) -> int:
+    """Chunks of ``lanes`` dimensions needed to cover a feature row."""
+    if lanes <= 0:
+        raise ValueError("lanes must be positive")
+    return -(-feat_dim // lanes)
+
+
+def index_span_sectors(
+    indptr: np.ndarray, *, itemsize: int = 4, base: int = 0, sector_bytes: int = 32
+) -> np.ndarray:
+    """Per-vertex sectors of the contiguous ``indices[start:end)`` span.
+
+    This is the post-L1 (DRAM) footprint of streaming a vertex's edge list:
+    sequential uniform loads re-hit the same sector for ``sector/itemsize``
+    consecutive edges.
+    """
+    starts = base + itemsize * indptr[:-1]
+    lengths = itemsize * np.diff(indptr)
+    first = starts // sector_bytes
+    last = (starts + np.maximum(lengths, 1) - 1) // sector_bytes
+    return np.where(lengths > 0, last - first + 1, 0).astype(np.int64)
+
+
+def make_amap(workload: ConvWorkload) -> AddressMap:
+    """Standard device layout for a workload (shared by trace/analyze)."""
+    g = workload.graph
+    return AddressMap.create(g.num_vertices, g.num_edges, workload.feat_dim)
+
+
+@dataclass
+class KernelResult:
+    """Everything one kernel execution yields."""
+
+    output: np.ndarray
+    stats: KernelStats
+    schedule: ScheduleResult
+    timing: KernelTiming
+
+
+class ConvKernel(ABC):
+    """Interface shared by all graph-convolution kernels."""
+
+    name: str = "kernel"
+
+    @abstractmethod
+    def run(self, workload: ConvWorkload) -> np.ndarray:
+        """Functional output of the kernel (must equal the reference)."""
+
+    @abstractmethod
+    def analyze(
+        self, workload: ConvWorkload, spec: GPUSpec = V100
+    ) -> tuple[KernelStats, ScheduleResult]:
+        """Vectorized counter model + schedule for the workload."""
+
+    def trace(self, workload: ConvWorkload, sim: MicroSim) -> np.ndarray:
+        """Micro-simulator replay (small graphs); returns the output."""
+        raise NotImplementedError(f"{self.name} has no micro-sim trace")
+
+    def supports(self, workload: ConvWorkload) -> bool:
+        """Whether the kernel can execute the workload (attention etc.)."""
+        return workload.attention is None
+
+    def execute(self, workload: ConvWorkload, spec: GPUSpec = V100) -> KernelResult:
+        """Run + analyze + cost-model in one call."""
+        output = self.run(workload)
+        stats, schedule = self.analyze(workload, spec)
+        occ = theoretical_occupancy(stats.launch, spec).theoretical
+        timing = estimate_kernel(stats, schedule, spec, theoretical_occupancy=occ)
+        return KernelResult(output=output, stats=stats, schedule=schedule, timing=timing)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def reference(workload: ConvWorkload) -> np.ndarray:
+        return reference_aggregate(workload)
+
+    def _default_launch(
+        self,
+        num_units: int,
+        spec: GPUSpec,
+        *,
+        warps_per_block: int = 4,
+        regs_per_thread: int = 32,
+    ) -> LaunchConfig:
+        """One warp per work unit, grouped ``warps_per_block`` to a block."""
+        blocks = max(1, -(-num_units // warps_per_block))
+        return LaunchConfig(
+            num_blocks=blocks,
+            threads_per_block=warps_per_block * spec.threads_per_warp,
+            regs_per_thread=regs_per_thread,
+        )

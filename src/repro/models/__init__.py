@@ -1,0 +1,71 @@
+"""GNN models (GCN, GIN, GraphSAGE, GAT): conv workload builders, full
+layers, and the shared ConvWorkload description kernels consume."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from . import functional
+from .convspec import AttentionSpec, ConvWorkload, reference_aggregate
+from .gat import GATLayer, MultiHeadGATLayer, build_gat_conv
+from .gcn import GCNLayer, build_gcn_conv, gcn_norm
+from .gin import GINLayer, build_gin_conv
+from .rgcn import RGCNLayer, build_rgcn_convs
+from .sage import SAGELayer, build_sage_conv
+from .training import GCNClassifier, cross_entropy, normalized_adjacency
+
+__all__ = [
+    "functional",
+    "ConvWorkload",
+    "AttentionSpec",
+    "reference_aggregate",
+    "build_gcn_conv",
+    "gcn_norm",
+    "build_gin_conv",
+    "build_sage_conv",
+    "build_gat_conv",
+    "GCNLayer",
+    "GINLayer",
+    "SAGELayer",
+    "GATLayer",
+    "MultiHeadGATLayer",
+    "RGCNLayer",
+    "build_rgcn_convs",
+    "GCNClassifier",
+    "cross_entropy",
+    "normalized_adjacency",
+    "MODEL_NAMES",
+    "build_conv",
+]
+
+#: The four models of the paper's evaluation, in table order.
+MODEL_NAMES = ("gcn", "gin", "sage", "gat")
+
+
+def build_conv(
+    model: str,
+    graph: CSRGraph,
+    X: np.ndarray,
+    *,
+    rng: np.random.Generator | None = None,
+) -> ConvWorkload:
+    """Build the graph-convolution workload of ``model`` on ``graph``/``X``.
+
+    GAT needs attention vectors; they are drawn from ``rng`` (default seeded)
+    so repeated builds are reproducible.
+    """
+    model = model.lower()
+    if model == "gcn":
+        return build_gcn_conv(graph, X)
+    if model == "gin":
+        return build_gin_conv(graph, X)
+    if model in ("sage", "graphsage"):
+        return build_sage_conv(graph, X)
+    if model == "gat":
+        rng = rng or np.random.default_rng(0)
+        f = X.shape[1]
+        a_src = functional.xavier_uniform((f, 1), rng)[:, 0]
+        a_dst = functional.xavier_uniform((f, 1), rng)[:, 0]
+        return build_gat_conv(graph, X, a_src, a_dst)
+    raise ValueError(f"unknown model {model!r}; known: {MODEL_NAMES}")

@@ -1,0 +1,121 @@
+"""The graph-convolution workload description shared by all kernels.
+
+Every model's graph convolution reduces (per the paper's Eq. 1-2) to:
+
+    out[u] = reduce_{v in N(u)} ( w(u,v) * X[v] )   (+ self_coeff[u] * X[u])
+
+with a per-edge scalar weight ``w`` (possibly 1) and a reduce op in
+{sum, mean, max}.  GAT additionally computes ``w`` *inside* the kernel from
+per-vertex attention scalars followed by an edge softmax; that structure is
+captured by :class:`AttentionSpec` so fused kernels can account for the
+extra passes without materializing per-edge data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from . import functional as F
+
+__all__ = ["ConvWorkload", "AttentionSpec", "reference_aggregate"]
+
+_REDUCES = ("sum", "mean", "max")
+
+
+@dataclass(frozen=True)
+class AttentionSpec:
+    """GAT-style in-kernel attention: logit(u,v) = LeakyReLU(asrc[v] + adst[u]),
+    then softmax over N(u), then weighted aggregation."""
+
+    att_src: np.ndarray  # (n,) per-source scalar  (a_l · h_v)
+    att_dst: np.ndarray  # (n,) per-destination scalar (a_r · h_u)
+    negative_slope: float = 0.2
+
+
+@dataclass(frozen=True)
+class ConvWorkload:
+    """One graph-convolution invocation, kernel-agnostic."""
+
+    graph: CSRGraph
+    X: np.ndarray  # (n, F) float32 input features
+    edge_weights: np.ndarray | None = None  # (E,) in CSR order
+    self_coeff: np.ndarray | None = None  # (n,) coefficient of own feature
+    reduce: str = "sum"
+    attention: AttentionSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.X.ndim != 2:
+            raise ValueError("X must be (n, F)")
+        if self.X.shape[0] != self.graph.num_vertices:
+            raise ValueError("X rows must match vertex count")
+        if self.reduce not in _REDUCES:
+            raise ValueError(f"reduce must be one of {_REDUCES}")
+        if self.edge_weights is not None and self.edge_weights.shape != (
+            self.graph.num_edges,
+        ):
+            raise ValueError("edge_weights must have one entry per edge")
+        if self.self_coeff is not None and self.self_coeff.shape != (
+            self.graph.num_vertices,
+        ):
+            raise ValueError("self_coeff must have one entry per vertex")
+        if self.attention is not None:
+            if self.edge_weights is not None:
+                raise ValueError("attention and edge_weights are exclusive")
+            if self.reduce != "sum":
+                raise ValueError("attention requires sum reduce")
+
+    @property
+    def feat_dim(self) -> int:
+        return int(self.X.shape[1])
+
+    #: number of per-edge scalars a kernel must fetch besides the feature row
+    @property
+    def edge_scalar_loads(self) -> int:
+        if self.attention is not None:
+            return 1  # att_src[v] gathered per edge (adst is register-cached)
+        return 1 if self.edge_weights is not None else 0
+
+    def resolved_edge_weights(self) -> np.ndarray:
+        """Per-edge weights after resolving attention (softmaxed) or defaults."""
+        g = self.graph
+        if self.attention is not None:
+            a = self.attention
+            src = g.indices
+            dst = np.repeat(
+                np.arange(g.num_vertices, dtype=np.int64), g.in_degrees
+            )
+            logits = F.leaky_relu(
+                a.att_src[src] + a.att_dst[dst], a.negative_slope
+            ).astype(np.float64)
+            return F.segment_softmax(logits, g.indptr).astype(np.float32)
+        if self.edge_weights is not None:
+            return self.edge_weights.astype(np.float32, copy=False)
+        return np.ones(g.num_edges, dtype=np.float32)
+
+
+def reference_aggregate(workload: ConvWorkload) -> np.ndarray:
+    """Ground-truth vectorized result every kernel must reproduce.
+
+    Sum/mean use the sparse-matrix product (the SpMM view of graph
+    convolution); max uses segment reduction.  Accumulation is float64 so
+    kernel implementations with different summation orders stay within
+    float32 tolerance of it.
+    """
+    g = workload.graph
+    X = workload.X.astype(np.float64, copy=False)
+    w = workload.resolved_edge_weights().astype(np.float64)
+    if workload.reduce == "max":
+        msgs = X[g.indices] * w[:, None]
+        out = F.segment_max(msgs, g.indptr)
+    else:
+        adj = g.to_scipy(weights=w.astype(np.float32)).astype(np.float64)
+        out = adj @ X
+        if workload.reduce == "mean":
+            denom = np.maximum(g.in_degrees.astype(np.float64), 1.0)
+            out = out / denom[:, None]
+    if workload.self_coeff is not None:
+        out = out + workload.self_coeff[:, None] * X
+    return out.astype(np.float32)

@@ -1,0 +1,138 @@
+"""Graph Attention Network (Veličković et al.) — attention conv + layer.
+
+Graph convolution: per-edge attention logits from per-vertex scalars,
+edge softmax over each destination's neighbourhood, then weighted sum.
+This is the model whose convolution DGL spends 18 kernels on and TLPGNN
+fuses into one (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from . import functional as F
+from .convspec import AttentionSpec, ConvWorkload
+
+__all__ = ["build_gat_conv", "GATLayer", "MultiHeadGATLayer"]
+
+
+def build_gat_conv(
+    graph: CSRGraph,
+    X: np.ndarray,
+    a_src: np.ndarray,
+    a_dst: np.ndarray,
+    *,
+    negative_slope: float = 0.2,
+) -> ConvWorkload:
+    """The GAT graph-convolution workload.
+
+    ``a_src``/``a_dst`` are the attention vectors (F,); the per-vertex
+    scalars ``X @ a`` are computed here (a dense op in the paper's phase 1)
+    and the edge logits / softmax / aggregation belong to the timed
+    convolution phase.
+    """
+    X = np.ascontiguousarray(X, dtype=np.float32)
+    att = AttentionSpec(
+        att_src=(X @ a_src).astype(np.float32),
+        att_dst=(X @ a_dst).astype(np.float32),
+        negative_slope=negative_slope,
+    )
+    return ConvWorkload(graph=graph, X=X, attention=att, reduce="sum")
+
+
+@dataclass
+class GATLayer:
+    """One single-head GAT layer: X @ W → attention conv → ELU-ish ReLU."""
+
+    weight: np.ndarray  # (F_in, F_out)
+    a_src: np.ndarray  # (F_out,)
+    a_dst: np.ndarray  # (F_out,)
+    negative_slope: float = 0.2
+
+    @classmethod
+    def init(cls, in_dim: int, out_dim: int, rng: np.random.Generator) -> "GATLayer":
+        return cls(
+            weight=F.xavier_uniform((in_dim, out_dim), rng),
+            a_src=F.xavier_uniform((out_dim, 1), rng)[:, 0],
+            a_dst=F.xavier_uniform((out_dim, 1), rng)[:, 0],
+        )
+
+    def forward(
+        self, graph: CSRGraph, X: np.ndarray, *, activation: bool = True
+    ) -> np.ndarray:
+        from .convspec import reference_aggregate
+
+        h = F.linear(X, self.weight)
+        out = reference_aggregate(
+            build_gat_conv(
+                graph, h, self.a_src, self.a_dst, negative_slope=self.negative_slope
+            )
+        )
+        return F.relu(out) if activation else out
+
+
+@dataclass
+class MultiHeadGATLayer:
+    """Multi-head GAT layer (extension beyond the paper's single-head eval).
+
+    Each head runs its own attention convolution — on the TLPGNN engine
+    every head is still one fused kernel — and the head outputs are
+    concatenated (hidden layers) or averaged (output layers), following the
+    original GAT formulation.
+    """
+
+    heads: list[GATLayer]
+    combine: str = "concat"  # "concat" | "mean"
+
+    def __post_init__(self) -> None:
+        if not self.heads:
+            raise ValueError("need at least one head")
+        if self.combine not in ("concat", "mean"):
+            raise ValueError("combine must be 'concat' or 'mean'")
+
+    @classmethod
+    def init(
+        cls,
+        in_dim: int,
+        out_dim: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        *,
+        combine: str = "concat",
+    ) -> "MultiHeadGATLayer":
+        return cls(
+            heads=[GATLayer.init(in_dim, out_dim, rng) for _ in range(num_heads)],
+            combine=combine,
+        )
+
+    @property
+    def num_heads(self) -> int:
+        return len(self.heads)
+
+    def head_workloads(self, graph: CSRGraph, X: np.ndarray) -> list:
+        """One fused-kernel ConvWorkload per head (for profiling)."""
+        from . import functional as Fn
+
+        out = []
+        for head in self.heads:
+            h = Fn.linear(X, head.weight)
+            out.append(
+                build_gat_conv(
+                    graph, h, head.a_src, head.a_dst,
+                    negative_slope=head.negative_slope,
+                )
+            )
+        return out
+
+    def forward(
+        self, graph: CSRGraph, X: np.ndarray, *, activation: bool = True
+    ) -> np.ndarray:
+        outs = [
+            h.forward(graph, X, activation=activation) for h in self.heads
+        ]
+        if self.combine == "concat":
+            return np.concatenate(outs, axis=1)
+        return np.mean(outs, axis=0)

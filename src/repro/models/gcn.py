@@ -1,0 +1,72 @@
+"""Graph Convolutional Network (Kipf & Welling) — conv semantics + layer.
+
+Graph convolution: degree-normalized weighted sum of neighbour features
+(the paper's Figure 1), including the vertex's own feature via the
+renormalization trick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from . import functional as F
+from .convspec import ConvWorkload
+
+__all__ = ["gcn_norm", "build_gcn_conv", "GCNLayer"]
+
+
+def gcn_norm(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric normalization weights.
+
+    Returns ``(edge_weights, self_coeff)`` with
+    ``w(u,v) = 1/sqrt((d_u+1)(d_v+1))`` and ``self_coeff[u] = 1/(d_u+1)``
+    (the self-loop term of the renormalized adjacency).
+    """
+    deg = graph.in_degrees.astype(np.float64) + 1.0
+    inv_sqrt = 1.0 / np.sqrt(deg)
+    src = graph.indices
+    dst = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.in_degrees)
+    weights = (inv_sqrt[dst] * inv_sqrt[src]).astype(np.float32)
+    self_coeff = (1.0 / deg).astype(np.float32)
+    return weights, self_coeff
+
+
+def build_gcn_conv(graph: CSRGraph, X: np.ndarray) -> ConvWorkload:
+    """The GCN graph-convolution workload (what Table 5 times)."""
+    weights, self_coeff = gcn_norm(graph)
+    return ConvWorkload(
+        graph=graph,
+        X=np.ascontiguousarray(X, dtype=np.float32),
+        edge_weights=weights,
+        self_coeff=self_coeff,
+        reduce="sum",
+    )
+
+
+@dataclass
+class GCNLayer:
+    """One full GCN layer: X @ W → graph conv → ReLU."""
+
+    weight: np.ndarray  # (F_in, F_out)
+    bias: np.ndarray | None = None
+
+    @classmethod
+    def init(
+        cls, in_dim: int, out_dim: int, rng: np.random.Generator
+    ) -> "GCNLayer":
+        return cls(
+            weight=F.xavier_uniform((in_dim, out_dim), rng),
+            bias=np.zeros(out_dim, dtype=np.float32),
+        )
+
+    def forward(
+        self, graph: CSRGraph, X: np.ndarray, *, activation: bool = True
+    ) -> np.ndarray:
+        from .convspec import reference_aggregate
+
+        h = F.linear(X, self.weight, self.bias)
+        h = reference_aggregate(build_gcn_conv(graph, h))
+        return F.relu(h) if activation else h

@@ -1,0 +1,63 @@
+"""Graph Isomorphism Network (Xu et al.) — conv semantics + layer.
+
+Graph convolution: ``(1 + eps) * h_u + sum_{v in N(u)} h_v`` followed by an
+MLP in the dense phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from . import functional as F
+from .convspec import ConvWorkload
+
+__all__ = ["build_gin_conv", "GINLayer"]
+
+
+def build_gin_conv(
+    graph: CSRGraph, X: np.ndarray, *, eps: float = 0.0
+) -> ConvWorkload:
+    """The GIN graph-convolution workload (unweighted sum + self term)."""
+    self_coeff = np.full(graph.num_vertices, 1.0 + eps, dtype=np.float32)
+    return ConvWorkload(
+        graph=graph,
+        X=np.ascontiguousarray(X, dtype=np.float32),
+        edge_weights=None,
+        self_coeff=self_coeff,
+        reduce="sum",
+    )
+
+
+@dataclass
+class GINLayer:
+    """One GIN layer: conv → 2-layer MLP with ReLU."""
+
+    w1: np.ndarray
+    w2: np.ndarray
+    eps: float = 0.0
+
+    @classmethod
+    def init(
+        cls,
+        in_dim: int,
+        hidden_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        *,
+        eps: float = 0.0,
+    ) -> "GINLayer":
+        return cls(
+            w1=F.xavier_uniform((in_dim, hidden_dim), rng),
+            w2=F.xavier_uniform((hidden_dim, out_dim), rng),
+            eps=eps,
+        )
+
+    def forward(self, graph: CSRGraph, X: np.ndarray) -> np.ndarray:
+        from .convspec import reference_aggregate
+
+        h = reference_aggregate(build_gin_conv(graph, X, eps=self.eps))
+        h = F.relu(F.linear(h, self.w1))
+        return F.linear(h, self.w2)

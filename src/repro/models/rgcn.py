@@ -1,0 +1,63 @@
+"""Relational GCN over heterogeneous graphs (future-work extension).
+
+R-GCN layer: ``h'_u = σ( W_0 h_u + Σ_r Σ_{v∈N_r(u)} 1/|N_r(u)| W_r h_v )``.
+Each relation's aggregation is one plain ConvWorkload — the homogeneous
+TLPGNN kernel runs unmodified per relation, demonstrating the paper's claim
+that the kernel design generalizes to heterogeneous GNNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.hetero import HeteroGraph
+from . import functional as F
+from .convspec import ConvWorkload, reference_aggregate
+
+__all__ = ["build_rgcn_convs", "RGCNLayer"]
+
+
+def build_rgcn_convs(
+    hetero: HeteroGraph, X: np.ndarray
+) -> dict[str, ConvWorkload]:
+    """One mean-aggregation ConvWorkload per relation."""
+    X = np.ascontiguousarray(X, dtype=np.float32)
+    return {
+        name: ConvWorkload(graph=g, X=X, reduce="mean")
+        for name, g in hetero.relations.items()
+    }
+
+
+@dataclass
+class RGCNLayer:
+    """One R-GCN layer: per-relation mean aggregation + relation weights."""
+
+    w_self: np.ndarray
+    w_rel: dict[str, np.ndarray]
+
+    @classmethod
+    def init(
+        cls,
+        hetero: HeteroGraph,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+    ) -> "RGCNLayer":
+        return cls(
+            w_self=F.xavier_uniform((in_dim, out_dim), rng),
+            w_rel={
+                name: F.xavier_uniform((in_dim, out_dim), rng)
+                for name in hetero.relation_names
+            },
+        )
+
+    def forward(
+        self, hetero: HeteroGraph, X: np.ndarray, *, activation: bool = True
+    ) -> np.ndarray:
+        out = F.linear(X, self.w_self)
+        for name, workload in build_rgcn_convs(hetero, X).items():
+            agg = reference_aggregate(workload)
+            out = out + F.linear(agg, self.w_rel[name])
+        return F.relu(out) if activation else out

@@ -1,0 +1,53 @@
+"""GraphSAGE (Hamilton et al.) — mean-aggregator conv semantics + layer.
+
+Graph convolution: mean of neighbour features; the self feature is combined
+in the dense phase (separate weight matrices), which matches the paper's
+"differ from GCN as to how they aggregate messages" framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from . import functional as F
+from .convspec import ConvWorkload
+
+__all__ = ["build_sage_conv", "SAGELayer"]
+
+
+def build_sage_conv(graph: CSRGraph, X: np.ndarray) -> ConvWorkload:
+    """The GraphSAGE graph-convolution workload (neighbour mean)."""
+    return ConvWorkload(
+        graph=graph,
+        X=np.ascontiguousarray(X, dtype=np.float32),
+        edge_weights=None,
+        self_coeff=None,
+        reduce="mean",
+    )
+
+
+@dataclass
+class SAGELayer:
+    """One SAGE layer: h' = ReLU(W_self · h + W_neigh · mean(N(h)))."""
+
+    w_self: np.ndarray
+    w_neigh: np.ndarray
+
+    @classmethod
+    def init(cls, in_dim: int, out_dim: int, rng: np.random.Generator) -> "SAGELayer":
+        return cls(
+            w_self=F.xavier_uniform((in_dim, out_dim), rng),
+            w_neigh=F.xavier_uniform((in_dim, out_dim), rng),
+        )
+
+    def forward(
+        self, graph: CSRGraph, X: np.ndarray, *, activation: bool = True
+    ) -> np.ndarray:
+        from .convspec import reference_aggregate
+
+        agg = reference_aggregate(build_sage_conv(graph, X))
+        h = F.linear(X, self.w_self) + F.linear(agg, self.w_neigh)
+        return F.relu(h) if activation else h

@@ -1,0 +1,41 @@
+"""Sweep utilities."""
+
+import pytest
+
+from repro.bench import BenchConfig, sweep_feature_dims, sweep_grid, sweep_scales
+
+CFG = BenchConfig(max_edges=60_000, seed=7)
+
+
+class TestSweeps:
+    def test_feature_dim_sweep_monotone(self):
+        t = sweep_feature_dims(
+            "gcn", "PI", feat_dims=(16, 64), systems=("TLPGNN",), config=CFG
+        )
+        recs = [r for r in t.records if r["system"] == "TLPGNN"]
+        assert recs[0]["runtime_ms"] < recs[1]["runtime_ms"]
+
+    def test_feature_dim_sweep_dashes(self):
+        t = sweep_feature_dims(
+            "gat", "CR", feat_dims=(16,), systems=("GNNAdvisor",), config=CFG
+        )
+        assert t.records[0]["runtime_ms"] is None
+        assert "-" in t.rows[0]
+
+    def test_scale_sensitivity_bounded(self):
+        t = sweep_scales(
+            "gcn", "RD", max_edges=(60_000, 240_000), system="TLPGNN", config=CFG
+        )
+        a, b = (r["runtime_ms"] for r in t.records)
+        # device scaling keeps modeled time within a small factor across scales
+        assert max(a, b) / min(a, b) < 3.0
+
+    def test_grid_shape(self):
+        t = sweep_grid(models=("gcn",), datasets=("CR", "PI"), config=CFG)
+        assert len(t.rows) == 1
+        assert len(t.records) == 2
+        assert all(r["runtime_ms"] is not None for r in t.records)
+
+    def test_render(self):
+        t = sweep_grid(models=("gcn",), datasets=("CR",), config=CFG)
+        assert "runtime" in t.render()

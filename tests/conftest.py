@@ -1,0 +1,64 @@
+"""Shared fixtures: small graphs and workloads every suite reuses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, chain, erdos_renyi, from_edge_list, power_law, star
+from repro.models import build_conv
+from repro.models.convspec import ConvWorkload
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """The paper's Figure 1 example: B, C, D -> A plus a few extra edges."""
+    src = [1, 2, 3, 0, 2, 3]
+    dst = [0, 0, 0, 1, 1, 2]
+    return from_edge_list(src, dst, 4, name="fig1")
+
+
+@pytest.fixture
+def small_random() -> CSRGraph:
+    return erdos_renyi(60, 300, seed=3, name="small_random")
+
+
+@pytest.fixture
+def skewed_graph() -> CSRGraph:
+    return power_law(80, 600, exponent=2.1, seed=5, name="skewed")
+
+
+@pytest.fixture
+def chain_graph() -> CSRGraph:
+    return chain(32)
+
+
+@pytest.fixture
+def star_graph() -> CSRGraph:
+    return star(33)
+
+
+def make_workload(
+    graph: CSRGraph,
+    model: str = "gcn",
+    feat_dim: int = 16,
+    seed: int = 0,
+) -> ConvWorkload:
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((graph.num_vertices, feat_dim), dtype=np.float32)
+    return build_conv(model, graph, X, rng=rng)
+
+
+@pytest.fixture
+def gcn_workload(small_random) -> ConvWorkload:
+    return make_workload(small_random, "gcn", 16)
+
+
+@pytest.fixture
+def gat_workload(small_random) -> ConvWorkload:
+    return make_workload(small_random, "gat", 16)

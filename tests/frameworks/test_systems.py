@@ -1,0 +1,158 @@
+"""System baselines: output parity, kernel counts, dashes, ablation."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import (
+    DGL_KERNEL_COUNTS,
+    CapacityError,
+    DGLSystem,
+    FeatGraphSystem,
+    GNNAdvisorSystem,
+    SYSTEMS,
+    TLPGNNEngine,
+    UnsupportedModelError,
+)
+from repro.graph import load_dataset
+from repro.models import MODEL_NAMES, build_conv, reference_aggregate
+
+
+@pytest.fixture
+def X16(small_random, rng):
+    return rng.standard_normal((small_random.num_vertices, 16), dtype=np.float32)
+
+
+class TestOutputParity:
+    """All systems must compute the same convolution (Table 5 compares how,
+    not what)."""
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_all_systems_agree(self, small_random, X16, model):
+        ref = reference_aggregate(build_conv(model, small_random, X16))
+        for name, factory in SYSTEMS.items():
+            sys = factory()
+            if not sys.supports(model):
+                continue
+            out = sys.run(model, small_random, X16).output
+            np.testing.assert_allclose(
+                out, ref, rtol=1e-3, atol=1e-4,
+                err_msg=f"{name} diverges on {model}",
+            )
+
+    def test_gnnadvisor_output_unpermuted(self, small_random, X16):
+        """GNNAdvisor computes on the reordered graph but must report
+        results in the caller's vertex order."""
+        ref = reference_aggregate(build_conv("gcn", small_random, X16))
+        out = GNNAdvisorSystem().run("gcn", small_random, X16).output
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-4)
+
+
+class TestKernelCounts:
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_dgl_counts_match_paper(self, small_random, X16, model):
+        res = DGLSystem().run(model, small_random, X16)
+        assert res.report.kernel_launches == DGL_KERNEL_COUNTS[model]
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_tlpgnn_single_kernel(self, small_random, X16, model):
+        res = TLPGNNEngine().run(model, small_random, X16)
+        assert res.report.kernel_launches == 1
+
+    def test_featgraph_gat_three_kernels(self, small_random, X16):
+        res = FeatGraphSystem().run("gat", small_random, X16)
+        assert res.report.kernel_launches == 3
+
+    def test_featgraph_others_two_kernels(self, small_random, X16):
+        res = FeatGraphSystem().run("gcn", small_random, X16)
+        assert res.report.kernel_launches == 2
+
+    def test_tlpgnn_unfused_gat_three_kernels(self, small_random, X16):
+        res = TLPGNNEngine(fusion=False).run("gat", small_random, X16)
+        assert res.report.kernel_launches == 3
+
+
+class TestDashes:
+    """Cells the paper leaves blank must raise, not silently compute."""
+
+    def test_gnnadvisor_models(self):
+        s = GNNAdvisorSystem()
+        assert s.supports("gcn") and s.supports("gin")
+        assert not s.supports("sage") and not s.supports("gat")
+
+    def test_gnnadvisor_unsupported_raises(self, small_random, X16):
+        with pytest.raises(UnsupportedModelError):
+            GNNAdvisorSystem().run("gat", small_random, X16)
+
+    def test_gnnadvisor_capacity_on_large_datasets(self, rng):
+        ds = load_dataset("RD", max_edges=100_000)
+        X = rng.standard_normal((ds.graph.num_vertices, 8), dtype=np.float32)
+        with pytest.raises(CapacityError):
+            GNNAdvisorSystem().run("gcn", ds, X)
+
+    def test_gnnadvisor_fits_small_datasets(self, rng):
+        ds = load_dataset("CR")
+        X = rng.standard_normal((ds.graph.num_vertices, 8), dtype=np.float32)
+        res = GNNAdvisorSystem().run("gcn", ds, X)
+        assert res.runtime_ms > 0
+
+
+class TestProfiles:
+    def test_gnnadvisor_preprocesses(self, small_random, X16):
+        res = GNNAdvisorSystem().run("gcn", small_random, X16)
+        assert res.report.preprocess_ms > 0
+
+    def test_tlpgnn_no_preprocessing(self, small_random, X16):
+        res = TLPGNNEngine().run("gcn", small_random, X16)
+        assert res.report.preprocess_ms == 0.0
+
+    def test_dgl_dispatch_overhead_per_kernel(self, small_random, X16):
+        res = DGLSystem().run("gat", small_random, X16)
+        assert res.report.launch_overhead_ms >= 18 * 60e-3
+
+    def test_report_dict_and_summary(self, small_random, X16):
+        res = TLPGNNEngine().run("gcn", small_random, X16)
+        d = res.report.as_dict()
+        assert d["system"] == "TLPGNN"
+        assert d["kernel_launches"] == 1
+        assert "runtime" in res.report.summary()
+
+    def test_atomics_only_in_atomic_systems(self, small_random, X16):
+        tlp = TLPGNNEngine().run("gcn", small_random, X16)
+        gnna = GNNAdvisorSystem().run("gcn", small_random, X16)
+        assert tlp.report.mem_atomic_store_bytes == 0
+        assert gnna.report.mem_atomic_store_bytes > 0
+
+    def test_dgl_workspace_exceeds_fused(self, small_random, X16):
+        dgl = DGLSystem().run("gat", small_random, X16)
+        tlp = TLPGNNEngine().run("gat", small_random, X16)
+        assert dgl.report.global_mem_usage_bytes > tlp.report.global_mem_usage_bytes
+
+
+class TestAblationToggles:
+    def test_baseline_uses_edge_centric(self, small_random, X16):
+        res = TLPGNNEngine(
+            two_level=False, hybrid=False, register_cache=False, fusion=False
+        ).run("gcn", small_random, X16)
+        assert res.report.stats.kernels[-1].atomic_ops > 0
+
+    def test_full_engine_atomic_free(self, small_random, X16):
+        res = TLPGNNEngine().run("gcn", small_random, X16)
+        assert res.report.stats.kernels[-1].atomic_ops == 0
+
+    def test_unfused_gat_materializes(self, small_random, X16):
+        res = TLPGNNEngine(fusion=False).run("gat", small_random, X16)
+        assert res.report.global_mem_usage_bytes > 0
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_every_stage_correct(self, small_random, X16, model):
+        ref = reference_aggregate(build_conv(model, small_random, X16))
+        stages = [
+            dict(two_level=False, hybrid=False, register_cache=False, fusion=False),
+            dict(two_level=True, hybrid=False, register_cache=False, fusion=False),
+            dict(two_level=True, hybrid=True, register_cache=False, fusion=False),
+            dict(two_level=True, hybrid=True, register_cache=True, fusion=False),
+            dict(two_level=True, hybrid=True, register_cache=True, fusion=True),
+        ]
+        for toggles in stages:
+            out = TLPGNNEngine(**toggles).run(model, small_random, X16).output
+            np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-4)

@@ -1,0 +1,105 @@
+"""Event-driven scheduler sim, and its agreement with the analytical model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import V100, LaunchConfig, hardware_schedule, software_pool_schedule
+from repro.gpusim.eventsim import (
+    simulate_hardware_scheduler,
+    simulate_task_pool_warps,
+)
+
+
+def _launch(wpb=4):
+    return LaunchConfig(num_blocks=1, threads_per_block=wpb * 32)
+
+
+class TestHardwareEventSim:
+    def test_empty(self):
+        r = simulate_hardware_scheduler(np.array([]), _launch(), V100)
+        assert r.makespan_cycles == 0.0
+
+    def test_single_block(self):
+        cycles = np.array([10.0, 30.0, 20.0, 5.0])
+        r = simulate_hardware_scheduler(cycles, _launch(4), V100)
+        assert r.makespan_cycles == pytest.approx(30.0 + V100.block_schedule_cycles)
+        assert r.num_blocks == 1
+
+    def test_blocks_spread_over_sms(self):
+        cycles = np.full(80 * 4, 100.0)  # exactly one block per SM
+        r = simulate_hardware_scheduler(cycles, _launch(4), V100)
+        assert np.count_nonzero(r.sm_busy_cycles) == 80
+        assert r.sm_imbalance == pytest.approx(1.0)
+
+    def test_occupancy_bounds(self):
+        rng = np.random.default_rng(0)
+        r = simulate_hardware_scheduler(
+            rng.uniform(10, 100, size=50_000), _launch(), V100
+        )
+        assert 0.0 < r.avg_occupancy <= 1.0
+
+    def test_matches_analytical_on_uniform(self):
+        cycles = np.full(40_000, 50.0)
+        launch = _launch(4)
+        sim = simulate_hardware_scheduler(cycles, launch, V100)
+        model = hardware_schedule(cycles, launch, V100)
+        assert model.makespan_cycles == pytest.approx(
+            sim.makespan_cycles, rel=0.25
+        )
+
+    def test_matches_analytical_on_skew(self):
+        rng = np.random.default_rng(1)
+        cycles = rng.pareto(1.8, size=30_000) * 50 + 10
+        launch = _launch(4)
+        sim = simulate_hardware_scheduler(cycles, launch, V100)
+        model = hardware_schedule(cycles, launch, V100)
+        assert model.makespan_cycles == pytest.approx(
+            sim.makespan_cycles, rel=0.35
+        )
+
+
+class TestPoolEventSim:
+    def test_empty(self):
+        r = simulate_task_pool_warps(np.array([]), V100)
+        assert r.makespan_cycles == 0.0
+
+    def test_matches_analytical(self):
+        rng = np.random.default_rng(2)
+        cycles = rng.uniform(5, 50, size=60_000)
+        sim = simulate_task_pool_warps(cycles, V100, step=8)
+        model = software_pool_schedule(cycles, V100, step=8)
+        assert model.makespan_cycles == pytest.approx(
+            sim.makespan_cycles, rel=0.3
+        )
+
+    def test_pool_occupancy_beats_big_blocks_on_skew(self):
+        rng = np.random.default_rng(3)
+        cycles = rng.pareto(1.3, size=40_000) * 100 + 10
+        pool = simulate_task_pool_warps(cycles, V100, step=4)
+        blocks = simulate_hardware_scheduler(cycles, _launch(16), V100)
+        assert pool.avg_occupancy > blocks.avg_occupancy
+
+    def test_resident_warps_limits_throughput(self):
+        cycles = np.full(20_000, 10.0)
+        few = simulate_task_pool_warps(cycles, V100, resident_warps=64)
+        many = simulate_task_pool_warps(cycles, V100, resident_warps=5120)
+        assert few.makespan_cycles > 10 * many.makespan_cycles
+
+
+@given(
+    n=st.integers(1, 3000),
+    wpb=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(0, 5),
+)
+@settings(max_examples=25, deadline=None)
+def test_eventsim_brackets_analytical(n, wpb, seed):
+    """The greedy analytical makespan stays within a constant factor of the
+    executable ground truth across random workloads."""
+    rng = np.random.default_rng(seed)
+    cycles = rng.uniform(1, 200, size=n)
+    launch = LaunchConfig(num_blocks=1, threads_per_block=wpb * 32)
+    sim = simulate_hardware_scheduler(cycles, launch, V100)
+    model = hardware_schedule(cycles, launch, V100)
+    assert 0.4 * sim.makespan_cycles <= model.makespan_cycles <= 2.5 * sim.makespan_cycles

@@ -1,0 +1,89 @@
+"""Micro-simulator request primitives and address map layout."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import AddressMap, MicroSim
+
+
+class TestAddressMap:
+    def test_layout_ordered_and_aligned(self):
+        m = AddressMap.create(10, 40, 16)
+        assert m.feat_base == 0
+        bases = [m.out_base, m.indptr_base, m.indices_base, m.edge_val_base]
+        assert bases == sorted(bases)
+        for b in bases:
+            assert b % 128 == 0
+
+    def test_no_overlap(self):
+        m = AddressMap.create(10, 40, 16)
+        assert m.out_base >= 10 * 16 * 4
+        assert m.indices_base >= m.indptr_base + 4 * 11
+        assert m.edge_val_base >= m.indices_base + 4 * 40
+
+    def test_addr_helpers(self):
+        m = AddressMap.create(10, 40, 16)
+        assert m.feat_addr(0, 0) == 0
+        assert m.feat_addr(1, 0) == 64
+        assert m.feat_addr(2, 3) == 2 * 64 + 12
+        assert m.indptr_addr(3) == m.indptr_base + 12
+        assert m.indices_addr(5) == m.indices_base + 20
+
+    def test_vectorized_addrs(self):
+        m = AddressMap.create(10, 40, 16)
+        a = m.feat_addr(np.array([0, 1]), 2)
+        assert a.tolist() == [8, 72]
+
+
+class TestMicroSim:
+    def test_load_counts(self):
+        s = MicroSim()
+        s.warp_load(np.arange(32) * 4)
+        assert s.load_requests == 1
+        assert s.load_sectors == 4
+
+    def test_store_counts(self):
+        s = MicroSim()
+        s.warp_store(np.arange(16) * 4)
+        assert s.store_requests == 1
+        assert s.store_sectors == 2
+
+    def test_atomic_counts_ops(self):
+        s = MicroSim()
+        s.warp_atomic(np.arange(8) * 128)
+        assert s.atomic_requests == 1
+        assert s.atomic_ops == 8
+        assert s.atomic_sectors == 8
+
+    def test_issue_and_diverge(self):
+        s = MicroSim()
+        s.issue(3)
+        s.diverge(5)
+        assert s.instructions == 3
+        assert s.divergent_lanes == 5
+
+    def test_lane_limit(self):
+        s = MicroSim()
+        with pytest.raises(ValueError, match="32 lane"):
+            s.warp_load(np.arange(40))
+
+    def test_totals_and_spr(self):
+        s = MicroSim()
+        s.warp_load(np.arange(32) * 4)  # 4 sectors
+        s.warp_load(np.arange(32) * 128)  # 32 sectors
+        assert s.total_requests == 2
+        assert s.sectors_per_request == pytest.approx(18.0)
+
+    def test_l1_hit_tracking(self):
+        s = MicroSim().with_l1()
+        # lane-level sector accesses: request 1 = 4 misses + 28 intra-warp
+        # hits, request 2 = 32 hits
+        s.warp_load(np.arange(32) * 4)
+        s.warp_load(np.arange(32) * 4)
+        assert s.l1_hit_rate == pytest.approx(60 / 64)
+        # DRAM-equivalent sector counters unaffected by the cache
+        assert s.load_sectors == 8
+
+    def test_no_l1_by_default(self):
+        s = MicroSim()
+        assert s.l1_hit_rate == 0.0

@@ -1,0 +1,103 @@
+"""warp_cycles assembly and the Nsight-style profile report."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import V100, warp_cycles
+from repro.gpusim.costmodel import PipelineTiming, estimate_kernel
+from repro.gpusim.kernel import KernelStats, LaunchConfig, PipelineStats
+from repro.gpusim.profiler import ProfileReport
+from repro.gpusim.scheduler import ScheduleResult
+
+
+class TestWarpCycles:
+    def test_broadcasts(self):
+        out = warp_cycles(V100, instructions=np.arange(4), requests=1.0, sectors=2.0)
+        assert out.shape == (4,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_components_additive(self):
+        a = warp_cycles(V100, instructions=10, requests=0, sectors=0)
+        b = warp_cycles(V100, instructions=0, requests=10, sectors=0)
+        c = warp_cycles(V100, instructions=0, requests=0, sectors=10)
+        both = warp_cycles(V100, instructions=10, requests=10, sectors=10)
+        assert both[0] == pytest.approx(a[0] + b[0] + c[0])
+
+    def test_constants_applied(self):
+        out = warp_cycles(V100, instructions=1, requests=1, sectors=1)
+        expected = (
+            V100.cycles_per_instr + V100.cycles_per_request + V100.cycles_per_sector
+        )
+        assert out[0] == pytest.approx(expected)
+
+    def test_atomic_term(self):
+        clean = warp_cycles(V100, instructions=1, requests=1, sectors=1)
+        dirty = warp_cycles(
+            V100, instructions=1, requests=1, sectors=1, atomic_ops=2,
+            collision_rate=0.0,
+        )
+        assert dirty[0] == pytest.approx(clean[0] + 2 * V100.cycles_per_atomic)
+
+    def test_scalar_returns_1d(self):
+        assert warp_cycles(V100, instructions=1, requests=1, sectors=1).ndim == 1
+
+
+def _report():
+    launch = LaunchConfig(num_blocks=10, threads_per_block=128)
+    stats = KernelStats(
+        name="k",
+        launch=launch,
+        load_sectors=1000,
+        load_requests=250,
+        instructions=4000,
+        warp_cycles=np.full(40, 100.0),
+        workspace_bytes=64,
+    )
+    sched = ScheduleResult(4000.0, 4000.0, 0.0, 10, "hardware")
+    timing = estimate_kernel(stats, sched, V100)
+    pipe = PipelineStats(name="p", preprocess_seconds=0.001)
+    pipe.add(stats)
+    pt = PipelineTiming(name="p", kernels=[timing], preprocess_seconds=0.001)
+    return ProfileReport(
+        system="S", model="gcn", dataset="CR", timing=pt, stats=pipe
+    )
+
+
+class TestProfileReport:
+    def test_metric_names(self):
+        r = _report()
+        d = r.as_dict()
+        for key in (
+            "runtime_ms",
+            "gpu_time_ms",
+            "kernel_launches",
+            "mem_load_bytes",
+            "mem_atomic_store_bytes",
+            "sm_utilization",
+            "achieved_occupancy",
+            "stall_long_scoreboard",
+            "sectors_per_request",
+        ):
+            assert key in d
+
+    def test_identities(self):
+        r = _report()
+        assert r.kernel_launches == 1
+        assert r.mem_load_bytes == 1000 * 32
+        assert r.mem_atomic_store_bytes == 0
+        assert r.global_mem_usage_bytes == 64
+        assert r.runtime_ms == pytest.approx(
+            r.gpu_time_ms + r.launch_overhead_ms
+        )
+        assert r.total_ms == pytest.approx(r.runtime_ms + r.preprocess_ms)
+        assert r.preprocess_ms == pytest.approx(1.0)
+
+    def test_summary_mentions_preprocess(self):
+        r = _report()
+        s = r.summary()
+        assert "pre-processing" in s
+        assert "S / gcn / CR" in s
+
+    def test_sectors_per_request(self):
+        r = _report()
+        assert r.sectors_per_request == pytest.approx(4.0)

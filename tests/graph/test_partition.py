@@ -1,0 +1,68 @@
+"""k-way partitioner (METIS substitute): coverage, balance, edge cut."""
+
+import numpy as np
+import pytest
+
+from repro.graph import chain, edge_cut, erdos_renyi, partition_kway
+
+
+class TestPartition:
+    def test_every_vertex_assigned(self, small_random):
+        p = partition_kway(small_random, 4, seed=0)
+        assert np.all(p.assignment >= 0)
+        assert np.all(p.assignment < 4)
+
+    def test_balanced_within_ceiling(self, small_random):
+        p = partition_kway(small_random, 4, seed=0)
+        cap = -(-small_random.num_vertices // 4)
+        assert p.sizes.max() <= cap
+
+    def test_sizes_sum(self, small_random):
+        p = partition_kway(small_random, 3, seed=1)
+        assert p.sizes.sum() == small_random.num_vertices
+
+    def test_k1_trivial(self, small_random):
+        p = partition_kway(small_random, 1)
+        assert np.all(p.assignment == 0)
+        assert edge_cut(small_random, p) == 0
+
+    def test_k_bounds(self, small_random):
+        with pytest.raises(ValueError):
+            partition_kway(small_random, 0)
+        with pytest.raises(ValueError):
+            partition_kway(small_random, small_random.num_vertices + 1)
+
+    def test_part_vertices_consistent(self, small_random):
+        p = partition_kway(small_random, 4, seed=2)
+        total = sum(len(p.part_vertices(i)) for i in range(4))
+        assert total == small_random.num_vertices
+
+    def test_edge_cut_counts(self):
+        g = chain(10)
+        assignment = np.array([0] * 5 + [1] * 5)
+        from repro.graph.partition import Partition
+
+        p = Partition(assignment=assignment, k=2)
+        assert edge_cut(g, p) == 1  # only the 4->5 edge crosses
+
+    def test_locality_beats_random_cut(self):
+        g = chain(64)
+        p = partition_kway(g, 4, seed=0)
+        rng = np.random.default_rng(0)
+        from repro.graph.partition import Partition
+
+        rand = Partition(
+            assignment=rng.integers(0, 4, size=g.num_vertices), k=4
+        )
+        assert edge_cut(g, p) <= edge_cut(g, rand)
+
+    def test_deterministic(self, small_random):
+        a = partition_kway(small_random, 4, seed=5)
+        b = partition_kway(small_random, 4, seed=5)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_dense_graph(self):
+        g = erdos_renyi(40, 600, seed=1)
+        p = partition_kway(g, 5, seed=1)
+        assert p.sizes.sum() == 40
+        assert p.sizes.max() <= 8

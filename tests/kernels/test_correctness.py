@@ -1,0 +1,104 @@
+"""Every kernel must produce the reference convolution output exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import erdos_renyi, power_law
+from repro.kernels import (
+    EdgeCentricKernel,
+    NeighborGroupKernel,
+    PullThreadKernel,
+    PushKernel,
+    TLPGNNKernel,
+    three_kernel_gat,
+)
+from repro.models import MODEL_NAMES, reference_aggregate
+
+from ..conftest import make_workload
+
+ALL_KERNELS = [
+    TLPGNNKernel(),
+    TLPGNNKernel(group_size=16, assignment="hardware"),
+    TLPGNNKernel(group_size=8, assignment="software"),
+    TLPGNNKernel(register_cache=False, assignment="hardware"),
+    TLPGNNKernel(assignment="static"),
+    PullThreadKernel(),
+    PushKernel(),
+    EdgeCentricKernel(),
+    EdgeCentricKernel(edges_per_warp=7),
+    NeighborGroupKernel(group_size=3),
+    NeighborGroupKernel(group_size=16),
+]
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+@pytest.mark.parametrize("model", MODEL_NAMES)
+def test_kernel_matches_reference(small_random, kernel, model):
+    wl = make_workload(small_random, model, 16)
+    if not kernel.supports(wl):
+        pytest.skip(f"{kernel.name} does not support {model}")
+    out = kernel.run(wl)
+    np.testing.assert_allclose(
+        out, reference_aggregate(wl), rtol=1e-4, atol=1e-5
+    )
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+def test_kernel_on_skewed_graph(skewed_graph, kernel):
+    wl = make_workload(skewed_graph, "gcn", 8)
+    np.testing.assert_allclose(
+        kernel.run(wl), reference_aggregate(wl), rtol=1e-4, atol=1e-5
+    )
+
+
+def test_three_kernel_gat_matches_fused(small_random):
+    wl = make_workload(small_random, "gat", 16)
+    fused = TLPGNNKernel().run(wl)
+    unfused, _pipe, _parts = three_kernel_gat(wl)
+    np.testing.assert_allclose(unfused, fused, rtol=1e-4, atol=1e-5)
+
+
+def test_execute_end_to_end(small_random):
+    wl = make_workload(small_random, "gcn", 16)
+    res = TLPGNNKernel().execute(wl)
+    assert res.output.shape == wl.X.shape
+    assert res.timing.gpu_seconds > 0
+    assert res.stats.load_requests > 0
+
+
+def test_unsupported_attention_raises_or_skips(small_random):
+    wl = make_workload(small_random, "gat", 8)
+    assert not PushKernel().supports(wl)
+    assert not EdgeCentricKernel().supports(wl)
+    assert not NeighborGroupKernel().supports(wl)
+    assert TLPGNNKernel().supports(wl)
+
+
+@given(
+    n=st.integers(2, 40),
+    m=st.integers(0, 200),
+    feat=st.sampled_from([8, 16, 32]),
+    model=st.sampled_from(list(MODEL_NAMES)),
+    seed=st.integers(0, 20),
+)
+@settings(max_examples=40, deadline=None)
+def test_tlpgnn_matches_reference_property(n, m, feat, model, seed):
+    g = erdos_renyi(n, m, seed=seed)
+    wl = make_workload(g, model, feat, seed=seed)
+    np.testing.assert_allclose(
+        TLPGNNKernel().run(wl), reference_aggregate(wl), rtol=1e-4, atol=1e-5
+    )
+
+
+@given(n=st.integers(2, 30), m=st.integers(1, 120), seed=st.integers(0, 10))
+@settings(max_examples=30, deadline=None)
+def test_scatter_kernels_match_property(n, m, seed):
+    g = power_law(n, m, seed=seed)
+    wl = make_workload(g, "gin", 8, seed=seed)
+    ref = reference_aggregate(wl)
+    np.testing.assert_allclose(PushKernel().run(wl), ref, rtol=1e-4, atol=1e-5)
+    np.testing.assert_allclose(
+        EdgeCentricKernel().run(wl), ref, rtol=1e-4, atol=1e-5
+    )

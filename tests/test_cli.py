@@ -1,0 +1,97 @@
+"""CLI: argument handling and command output."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ARGS = ["--max-edges", "60000", "--seed", "7"]
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_choice_ok_until_run(self):
+        args = build_parser().parse_args(["run", "--dataset", "CR"])
+        assert args.dataset == "CR"
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestCommands:
+    def test_datasets(self):
+        code, out = run_cli(*ARGS, "datasets")
+        assert code == 0
+        assert "Reddit" in out and "Citeseer" in out
+
+    def test_run_summary(self):
+        code, out = run_cli(*ARGS, "run", "--system", "TLPGNN", "--model", "gcn",
+                            "--dataset", "CR")
+        assert code == 0
+        assert "kernel launches    : 1" in out
+
+    def test_run_dash_cell(self):
+        code, out = run_cli(*ARGS, "run", "--system", "GNNAdvisor",
+                            "--model", "gat", "--dataset", "CR")
+        assert code == 1
+        assert "dash" in out
+
+    def test_compare_ranks(self):
+        code, out = run_cli(*ARGS, "compare", "--model", "gcn", "--dataset", "CR")
+        assert code == 0
+        assert "fastest" in out
+        assert out.index("TLPGNN") < out.index("DGL")  # TLPGNN ranked first
+
+    def test_compare_shows_dashes(self):
+        code, out = run_cli(*ARGS, "compare", "--model", "gat", "--dataset", "CR")
+        assert code == 0
+        assert "GNNAdvisor" in out and "dash" in out
+
+    def test_experiment_table4(self):
+        code, out = run_cli(*ARGS, "experiment", "table4")
+        assert code == 0
+        assert "Table 4" in out
+
+    def test_experiment_table2_forces_feat128(self):
+        code, out = run_cli(*ARGS, "experiment", "table2")
+        assert code == 0
+        assert "feat 128" in out
+
+    def test_roofline(self):
+        code, out = run_cli(*ARGS, "roofline", "--system", "TLPGNN",
+                            "--model", "gcn", "--dataset", "CR")
+        assert code == 0
+        assert "-bound" in out
+
+    def test_roofline_multi_kernel(self):
+        code, out = run_cli(*ARGS, "roofline", "--system", "DGL",
+                            "--model", "gcn", "--dataset", "CR")
+        assert code == 0
+        assert out.count("-bound") == 6  # one line per DGL kernel
+
+
+class TestValidateAndReport:
+    def test_validate_selected(self):
+        code, out = run_cli(*ARGS, "validate", "--only", "table5-dashes")
+        assert code == 0
+        assert "[PASS] table5-dashes" in out
+        assert "1/1 claims hold" in out
+
+    def test_report_to_file(self, tmp_path):
+        target = tmp_path / "report.txt"
+        code, out = run_cli(*ARGS, "report", "--out", str(target))
+        assert code == 0
+        text = target.read_text()
+        for exp in ("Table 1", "Table 5", "Figure 12"):
+            assert exp in text
