@@ -14,11 +14,13 @@ models      GCN / GIN / GraphSAGE / GAT conv semantics and layers.
 frameworks  System baselines: DGL-like, GNNAdvisor-like, FeatGraph-like,
             and the TLPGNN engine.
 bench       Table/figure regeneration harness.
+obs         Observability: span tracer, event sink, metrics registry,
+            Chrome-trace timelines, profile archive + regression diff.
 """
 
 __version__ = "1.0.0"
 
-from . import balance, bench, frameworks, graph, gpusim, kernels, models
+from . import balance, bench, frameworks, graph, gpusim, kernels, models, obs
 
 __all__ = [
     "graph",
@@ -28,5 +30,6 @@ __all__ = [
     "models",
     "frameworks",
     "bench",
+    "obs",
     "__version__",
 ]

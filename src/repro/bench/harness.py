@@ -12,6 +12,7 @@ from ..frameworks.base import SystemResult
 from ..gpusim.config import V100, GPUSpec, scaled_spec
 from ..graph.datasets import Dataset, load_dataset
 from ..models import MODEL_NAMES
+from ..obs.tracer import span
 
 __all__ = [
     "BenchConfig",
@@ -74,10 +75,19 @@ def run_system(
     (unsupported model or capacity failure)."""
     if X is None:
         X = make_features(dataset.graph.num_vertices, config.feat_dim, seed=config.seed)
-    try:
-        return system.run(model, dataset, X, config.spec_for(dataset))
-    except (UnsupportedModelError, CapacityError):
-        return None
+    with span(
+        "bench.run_system",
+        system=system.name, model=model, dataset=dataset.spec.abbr,
+    ) as sp:
+        try:
+            result = system.run(model, dataset, X, config.spec_for(dataset))
+        except (UnsupportedModelError, CapacityError) as exc:
+            if sp is not None:
+                sp.set(dash=type(exc).__name__)
+            return None
+        if sp is not None:
+            sp.add_modeled(result.report.timing.runtime_seconds)
+        return result
 
 
 def run_comparison(

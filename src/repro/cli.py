@@ -6,7 +6,13 @@ datasets            print the Table-4 registry (spec + loaded stand-in)
 run                 profile one (system, model, dataset) cell
 compare             run all four systems on one cell and rank them
 experiment          regenerate a paper table/figure by id (table1..fig12)
+validate            check the paper's shape claims (exit 1 on failure)
+report              regenerate every table & figure into one document
 roofline            roofline-classify every kernel of a system's pipeline
+trace               profile one cell and export a Chrome-trace timeline
+                    (one track per simulated SM; Perfetto loadable)
+diff                compare two archived profile runs metric-by-metric;
+                    exit 1 when a counter regressed beyond tolerance
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from .frameworks import SYSTEMS
 from .gpusim import roofline
 from .gpusim.costmodel import estimate_kernel
 from .gpusim.occupancy import theoretical_occupancy
+from .obs import ProfileArchive, Tracer, diff_runs, load_run, set_tracer
 
 __all__ = ["main", "build_parser"]
 
@@ -45,6 +52,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
     run.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
     run.add_argument("--dataset", default="CR")
+    run.add_argument("--archive", default=None, metavar="DIR",
+                     help="also record the profile into this archive directory")
 
     cmp_ = sub.add_parser("compare", help="run all systems on one cell")
     cmp_.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
@@ -64,6 +73,25 @@ def build_parser() -> argparse.ArgumentParser:
     roof.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
     roof.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
     roof.add_argument("--dataset", default="CR")
+
+    tr = sub.add_parser(
+        "trace", help="profile one cell and export a Chrome-trace timeline"
+    )
+    tr.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
+    tr.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
+    tr.add_argument("--dataset", default="CR")
+    tr.add_argument("--out", default="trace.json",
+                    help="timeline output path (default trace.json)")
+    tr.add_argument("--archive", default=None, metavar="DIR",
+                    help="also record the profile into this archive directory")
+    tr.add_argument("--max-block-events", type=int, default=20_000,
+                    help="per-kernel cap on replayed block events")
+
+    diff = sub.add_parser(
+        "diff", help="compare two archived profile runs (exit 1 on regression)"
+    )
+    diff.add_argument("baseline", help="archived run JSON (the reference)")
+    diff.add_argument("candidate", help="archived run JSON to check")
     return p
 
 
@@ -84,6 +112,16 @@ def cmd_datasets(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _archive_report(report, args, config, spec, out) -> None:
+    """Record a profile into ``--archive DIR`` (shared by run/trace)."""
+    archive = ProfileArchive(args.archive)
+    path = archive.record(
+        report, seed=config.seed, feat_dim=config.feat_dim,
+        max_edges=config.max_edges, spec=spec,
+    )
+    print(f"archived profile -> {path}", file=out)
+
+
 def cmd_run(args: argparse.Namespace, out) -> int:
     config = _config(args)
     dataset, X = _cell(args, config)
@@ -96,6 +134,8 @@ def cmd_run(args: argparse.Namespace, out) -> int:
         )
         return 1
     print(res.report.summary(), file=out)
+    if args.archive:
+        _archive_report(res.report, args, config, config.spec_for(dataset), out)
     return 0
 
 
@@ -107,10 +147,15 @@ def cmd_compare(args: argparse.Namespace, out) -> int:
         res = run_system(factory(), args.model, dataset, config, X=X)
         rows.append((name, res.runtime_ms if res else None))
     ok = [(n, t) for n, t in rows if t is not None]
-    best = min(t for _, t in ok)
     print(f"{args.model.upper()} on {args.dataset} "
           f"(|V|={dataset.graph.num_vertices:,}, |E|={dataset.graph.num_edges:,}):",
           file=out)
+    if not ok:
+        # every system dashed this cell: still render the table, exit 1
+        for name, _ in rows:
+            print(f"  {name:<12} {'-':>10}  (dash, as in the paper)", file=out)
+        return 1
+    best = min(t for _, t in ok)
     for name, t in sorted(ok, key=lambda r: r[1]):
         marker = " <- fastest" if t == best else f"  ({t / best:.2f}x)"
         print(f"  {name:<12} {t:10.4f} ms{marker}", file=out)
@@ -118,6 +163,59 @@ def cmd_compare(args: argparse.Namespace, out) -> int:
         if t is None:
             print(f"  {name:<12} {'-':>10}  (dash, as in the paper)", file=out)
     return 0
+
+
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    from .obs.timeline import write_timeline
+
+    config = _config(args)
+    dataset, X = _cell(args, config)
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        res = run_system(SYSTEMS[args.system](), args.model, dataset, config, X=X)
+    finally:
+        set_tracer(previous)
+    if res is None:
+        print(
+            f"{args.system} cannot run {args.model} on {args.dataset} "
+            "(dash cell — nothing to trace)",
+            file=out,
+        )
+        return 1
+    spec = config.spec_for(dataset)
+    trace = write_timeline(
+        args.out, res, spec, tracer=tracer,
+        max_block_events_per_kernel=args.max_block_events,
+    )
+    meta = trace["otherData"]
+    print(
+        f"wrote {args.out}: {len(trace['traceEvents'])} events, "
+        f"{meta['num_sms']} SM tracks, GPU time {meta['gpu_time_ms']:.3f} ms"
+        + (f", {meta['dropped_events']} events dropped (cap)"
+           if meta["dropped_events"] else ""),
+        file=out,
+    )
+    if args.archive:
+        _archive_report(res.report, args, config, spec, out)
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace, out) -> int:
+    try:
+        baseline = load_run(args.baseline)
+        candidate = load_run(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    result = diff_runs(baseline, candidate)
+    print(
+        f"baseline : {args.baseline} ({baseline['fingerprint']})\n"
+        f"candidate: {args.candidate} ({candidate['fingerprint']})",
+        file=out,
+    )
+    print(result.render(), file=out)
+    return 0 if result.ok else 1
 
 
 def cmd_experiment(args: argparse.Namespace, out) -> int:
@@ -211,6 +309,8 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "report": cmd_report,
     "roofline": cmd_roofline,
+    "trace": cmd_trace,
+    "diff": cmd_diff,
 }
 
 

@@ -22,6 +22,7 @@ from ..gpusim.profiler import ProfileReport
 from ..gpusim.scheduler import ScheduleResult
 from ..graph.csr import CSRGraph
 from ..graph.datasets import Dataset
+from ..obs.tracer import span
 
 __all__ = ["GNNSystem", "SystemResult", "UnsupportedModelError", "CapacityError"]
 
@@ -90,24 +91,30 @@ class GNNSystem(ABC):
         graph = data.graph if dataset is not None else data
         self.check_capacity(graph, dataset)
         rng = rng or np.random.default_rng(0)
-        output, pipeline, parts = self._pipeline(
-            model, graph, X, spec, dataset=dataset, rng=rng
-        )
-        timings: list[KernelTiming] = []
-        for stats, sched in parts:
-            occ = theoretical_occupancy(stats.launch, spec).theoretical
-            timings.append(
-                estimate_kernel(stats, sched, spec, theoretical_occupancy=occ)
+        with span(f"{self.name}.pipeline", model=model, graph=graph.name) as sp:
+            output, pipeline, parts = self._pipeline(
+                model, graph, X, spec, dataset=dataset, rng=rng
             )
-        if self.dispatch_seconds is not None:
-            eff_spec = spec.with_overrides(
-                framework_dispatch_seconds=self.dispatch_seconds
-            )
-            timing = estimate_pipeline(
-                pipeline, timings, eff_spec, framework_dispatch=True
-            )
-        else:
-            timing = estimate_pipeline(pipeline, timings, spec)
+            if sp is not None:
+                sp.set(num_kernels=pipeline.num_kernels)
+        with span(f"{self.name}.costmodel", model=model) as sp:
+            timings: list[KernelTiming] = []
+            for stats, sched in parts:
+                occ = theoretical_occupancy(stats.launch, spec).theoretical
+                timings.append(
+                    estimate_kernel(stats, sched, spec, theoretical_occupancy=occ)
+                )
+            if self.dispatch_seconds is not None:
+                eff_spec = spec.with_overrides(
+                    framework_dispatch_seconds=self.dispatch_seconds
+                )
+                timing = estimate_pipeline(
+                    pipeline, timings, eff_spec, framework_dispatch=True
+                )
+            else:
+                timing = estimate_pipeline(pipeline, timings, spec)
+            if sp is not None:
+                sp.add_modeled(timing.runtime_seconds)
         report = ProfileReport(
             system=self.name,
             model=model,
@@ -115,6 +122,7 @@ class GNNSystem(ABC):
             timing=timing,
             stats=pipeline,
         )
+        report.publish()
         return SystemResult(output=output, report=report)
 
     def check_capacity(self, graph: CSRGraph, dataset: Dataset | None) -> None:

@@ -22,6 +22,7 @@ from ..kernels.base import feature_row_sectors, index_span_sectors
 from ..kernels.fusion import streaming_kernel_stats
 from ..models import build_conv
 from ..models.convspec import reference_aggregate
+from ..obs.tracer import span
 from .base import GNNSystem
 
 __all__ = ["DGLSystem"]
@@ -56,6 +57,23 @@ class DGLSystem(GNNSystem):
         """SpMM kernel: cuSPARSE CSR row-parallel, or (for the per-edge
         weighted GAT aggregation) the COO scatter path with atomicAdd —
         the reason DGL's GAT is its slowest model on large graphs."""
+        with span(
+            "kernel.analyze",
+            kernel="spmm_coo_atomic" if coo_atomic else "spmm",
+        ):
+            return self._spmm_stats(
+                graph, feat_dim, spec, weighted=weighted, coo_atomic=coo_atomic
+            )
+
+    def _spmm_stats(
+        self,
+        graph: CSRGraph,
+        feat_dim: int,
+        spec: GPUSpec,
+        *,
+        weighted: bool,
+        coo_atomic: bool = False,
+    ) -> tuple[KernelStats, ScheduleResult]:
         n, E = graph.num_vertices, graph.num_edges
         SF = feature_row_sectors(feat_dim)
         amap = make_amap_dim(graph, feat_dim)
@@ -114,18 +132,19 @@ class DGLSystem(GNNSystem):
     ) -> tuple[KernelStats, ScheduleResult]:
         g = gather or (0, 0)
         ws = items if workspace_items is None else workspace_items
-        return streaming_kernel_stats(
-            name,
-            items,
-            spec,
-            read_bytes_per_item=4.0 * reads,
-            write_bytes_per_item=4.0 * writes,
-            gather_touches=g[0],
-            gather_unique_sectors=g[1],
-            instr_per_item=3.0,
-            workspace_bytes=int(4 * ws),
-            l2_efficiency=0.5,
-        )
+        with span("kernel.analyze", kernel=name):
+            return streaming_kernel_stats(
+                name,
+                items,
+                spec,
+                read_bytes_per_item=4.0 * reads,
+                write_bytes_per_item=4.0 * writes,
+                gather_touches=g[0],
+                gather_unique_sectors=g[1],
+                instr_per_item=3.0,
+                workspace_bytes=int(4 * ws),
+                l2_efficiency=0.5,
+            )
 
     # ------------------------------------------------------------------
     def _pipeline(self, model, graph, X, spec, *, dataset, rng):
@@ -133,7 +152,8 @@ class DGLSystem(GNNSystem):
         nf = n * Fdim
         att_sec = -(-4 * n // 32)
         workload = build_conv(model, graph, X, rng=rng)
-        output = reference_aggregate(workload)
+        with span("kernel.run", kernel=f"dgl_{model}_pipeline"):
+            output = reference_aggregate(workload)
 
         k: list[tuple[KernelStats, ScheduleResult]] = []
         ew = self._elementwise

@@ -16,6 +16,7 @@ from ..gpusim.kernel import PipelineStats
 from ..kernels.fusion import streaming_kernel_stats, three_kernel_gat
 from ..kernels.tlpgnn import TLPGNNKernel
 from ..models import build_conv
+from ..obs.tracer import span
 from .base import GNNSystem
 
 __all__ = ["FeatGraphSystem"]
@@ -45,18 +46,21 @@ class FeatGraphSystem(GNNSystem):
         workload = build_conv(model, graph, X, rng=rng)
         pipeline = PipelineStats(name=f"featgraph_{model}")
         if model == "gat":
-            output, pstats, parts = three_kernel_gat(
-                workload,
-                spec,
-                schedule_policy="static",
-                register_cache=False,
-                l2_efficiency=0.2,
-            )
+            with span("featgraph.three_kernel_gat"):
+                output, pstats, parts = three_kernel_gat(
+                    workload,
+                    spec,
+                    schedule_policy="static",
+                    register_cache=False,
+                    l2_efficiency=0.2,
+                )
             for s, _ in parts:
                 pipeline.add(s)
             return output, pipeline, parts
-        output = self.kernel.run(workload)
-        stats, sched = self.kernel.analyze(workload, spec)
+        with span("kernel.run", kernel=self.kernel.name):
+            output = self.kernel.run(workload)
+        with span("kernel.analyze", kernel=self.kernel.name):
+            stats, sched = self.kernel.analyze(workload, spec)
         fin = streaming_kernel_stats(
             "featgraph_finalize",
             graph.num_vertices * X.shape[1],

@@ -20,6 +20,7 @@ from ..gpusim.kernel import PipelineStats
 from ..kernels.fusion import streaming_kernel_stats
 from ..kernels.neighbor_group import NeighborGroupKernel, build_groups
 from ..models import build_conv
+from ..obs.tracer import span
 from .base import CapacityError, GNNSystem
 
 __all__ = ["GNNAdvisorSystem"]
@@ -53,19 +54,22 @@ class GNNAdvisorSystem(GNNSystem):
     # ------------------------------------------------------------------
     def _pipeline(self, model, graph, X, spec, *, dataset, rng):
         # pre-processing: reorder + group-table build (real host time)
-        t0 = time.perf_counter()
-        reorder = degree_sort(graph)
-        build_groups(reorder.graph.in_degrees, self.group_size)
-        preprocess = time.perf_counter() - t0 + reorder.seconds
+        with span("gnnadvisor.preprocess", graph=graph.name):
+            t0 = time.perf_counter()
+            reorder = degree_sort(graph)
+            build_groups(reorder.graph.in_degrees, self.group_size)
+            preprocess = time.perf_counter() - t0 + reorder.seconds
 
         perm = reorder.perm
         Xp = np.ascontiguousarray(X[np.argsort(perm)])
         workload = build_conv(model, reorder.graph, Xp, rng=rng)
-        output_p = self.kernel.run(workload)
+        with span("kernel.run", kernel=self.kernel.name):
+            output_p = self.kernel.run(workload)
         # undo the permutation so outputs are comparable across systems
         output = output_p[perm]
 
-        stats, sched = self.kernel.analyze(workload, spec)
+        with span("kernel.analyze", kernel=self.kernel.name):
+            stats, sched = self.kernel.analyze(workload, spec)
         # finalize kernel: combine self term / scale (their second kernel)
         fin = streaming_kernel_stats(
             "gnnadvisor_finalize",

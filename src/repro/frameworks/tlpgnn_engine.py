@@ -22,6 +22,7 @@ from ..kernels.tlpgnn import TLPGNNKernel
 from ..models import build_conv
 from ..models.convspec import ConvWorkload
 from ..models.functional import leaky_relu, segment_softmax
+from ..obs.tracer import span
 from .base import GNNSystem
 
 __all__ = ["TLPGNNEngine"]
@@ -82,48 +83,53 @@ class TLPGNNEngine(GNNSystem):
         if needs_unfused_gat:
             # materialize attention with ApplyEdge + edge-softmax kernels,
             # then aggregate with whatever level-1 mapping is enabled.
-            att = workload.attention
-            g = graph
-            src = g.indices
-            dst = np.repeat(
-                np.arange(g.num_vertices, dtype=np.int64), g.in_degrees
-            )
-            logits = leaky_relu(
-                att.att_src[src] + att.att_dst[dst], att.negative_slope
-            ).astype(np.float64)
-            alphas = segment_softmax(logits, g.indptr).astype(np.float32)
-            att_sec = -(-4 * g.num_vertices // 32)
-            k1 = streaming_kernel_stats(
-                "apply_edge_logits",
-                g.num_edges,
-                spec,
-                read_bytes_per_item=8.0,
-                write_bytes_per_item=4.0,
-                gather_touches=2 * g.num_edges,
-                gather_unique_sectors=2 * att_sec,
-                instr_per_item=4.0,
-                workspace_bytes=4 * g.num_edges,
-            )
-            k2 = streaming_kernel_stats(
-                "edge_softmax",
-                g.num_edges,
-                spec,
-                read_bytes_per_item=8.0,
-                write_bytes_per_item=4.0,
-                instr_per_item=6.0,
-                workspace_bytes=4 * g.num_edges,
-            )
-            parts.extend([k1, k2])
-            workload = ConvWorkload(
-                graph=g, X=workload.X, edge_weights=alphas, reduce="sum"
-            )
+            with span("tlpgnn.unfused_attention", model=model):
+                att = workload.attention
+                g = graph
+                src = g.indices
+                dst = np.repeat(
+                    np.arange(g.num_vertices, dtype=np.int64), g.in_degrees
+                )
+                logits = leaky_relu(
+                    att.att_src[src] + att.att_dst[dst], att.negative_slope
+                ).astype(np.float64)
+                alphas = segment_softmax(logits, g.indptr).astype(np.float32)
+                att_sec = -(-4 * g.num_vertices // 32)
+                k1 = streaming_kernel_stats(
+                    "apply_edge_logits",
+                    g.num_edges,
+                    spec,
+                    read_bytes_per_item=8.0,
+                    write_bytes_per_item=4.0,
+                    gather_touches=2 * g.num_edges,
+                    gather_unique_sectors=2 * att_sec,
+                    instr_per_item=4.0,
+                    workspace_bytes=4 * g.num_edges,
+                )
+                k2 = streaming_kernel_stats(
+                    "edge_softmax",
+                    g.num_edges,
+                    spec,
+                    read_bytes_per_item=8.0,
+                    write_bytes_per_item=4.0,
+                    instr_per_item=6.0,
+                    workspace_bytes=4 * g.num_edges,
+                )
+                parts.extend([k1, k2])
+                workload = ConvWorkload(
+                    graph=g, X=workload.X, edge_weights=alphas, reduce="sum"
+                )
 
         if self.two_level:
             kernel = self._make_kernel(dataset)
         else:
             kernel = EdgeCentricKernel(warps_per_block=self.warps_per_block)
-        output = kernel.run(workload)
-        stats, sched = kernel.analyze(workload, spec)
+        with span("kernel.run", kernel=kernel.name):
+            output = kernel.run(workload)
+        with span("kernel.analyze", kernel=kernel.name) as sp:
+            stats, sched = kernel.analyze(workload, spec)
+            if sp is not None:
+                sp.set(num_units=sched.num_units, policy=sched.policy)
         parts.append((stats, sched))
         for s, _sched in parts:
             pipeline.add(s)

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.events import get_event_sink
+from ..obs.metrics import get_registry
 from .config import GPUSpec
 from .kernel import KernelStats, PipelineStats
 from .occupancy import achieved_occupancy
@@ -189,7 +191,7 @@ def estimate_kernel(
         * coalesce_penalty
     )
 
-    return KernelTiming(
+    timing = KernelTiming(
         name=stats.name,
         makespan_cycles=float(eff_makespan),
         sm_seconds=sm_seconds,
@@ -204,6 +206,18 @@ def estimate_kernel(
         total_bytes=stats.total_bytes,
         atomic_bytes=stats.atomic_bytes,
     )
+    registry = get_registry()
+    if registry is not None:
+        registry.observe_kernel_timing(stats.name, timing, stats)
+    sink = get_event_sink()
+    if sink is not None and stats.atomic_ops:
+        sink.atomic_serialization(
+            kernel=stats.name,
+            atomic_ops=stats.atomic_ops,
+            collision_rate=stats.atomic_collision_rate,
+            atomic_seconds=atomic_seconds,
+        )
+    return timing
 
 
 def estimate_pipeline(

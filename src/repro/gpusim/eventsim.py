@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.events import get_event_sink
 from .config import GPUSpec
 from .kernel import LaunchConfig
 
@@ -78,6 +79,11 @@ def simulate_hardware_scheduler(
         for sm in range(spec.num_sms)
     ]
     heapq.heapify(servers)
+    sink = get_event_sink()
+    if sink is not None:
+        sink.kernel_launch(
+            "hardware_scheduler", num_blocks=n_blocks, num_warps=n_warps
+        )
     sm_busy = np.zeros(spec.num_sms, dtype=np.float64)
     warp_slot_cycles = 0.0  # integral of active warps over time
     makespan = 0.0
@@ -88,6 +94,12 @@ def simulate_hardware_scheduler(
         warp_slot_cycles += float(per_block[b].sum())
         makespan = max(makespan, finish)
         heapq.heappush(servers, (finish, slot, sm))
+        if sink is not None:
+            sink.block_assigned(
+                block=b, sm=sm, start_cycles=t, end_cycles=finish,
+                warps=int(wpb if b < n_blocks - 1 else wpb - pad),
+            )
+            sink.warp_complete(unit=b, sm=sm, at_cycles=finish)
     occupancy = warp_slot_cycles / (makespan * spec.max_resident_warps)
     return EventSimResult(
         makespan_cycles=float(makespan),
@@ -125,6 +137,11 @@ def simulate_task_pool_warps(
     )
     warps = [(0.0, w) for w in range(resident_warps)]
     heapq.heapify(warps)
+    sink = get_event_sink()
+    if sink is not None:
+        sink.kernel_launch(
+            "task_pool", num_blocks=n_chunks, num_warps=resident_warps
+        )
     sm_busy = np.zeros(spec.num_sms, dtype=np.float64)
     warps_per_sm = max(resident_warps // spec.num_sms, 1)
     busy_total = 0.0
@@ -132,10 +149,17 @@ def simulate_task_pool_warps(
     for c in range(n_chunks):
         t, w = heapq.heappop(warps)
         finish = t + chunk_cost[c]
-        sm_busy[min(w // warps_per_sm, spec.num_sms - 1)] += chunk_cost[c]
+        sm = min(w // warps_per_sm, spec.num_sms - 1)
+        sm_busy[sm] += chunk_cost[c]
         busy_total += chunk_cost[c]
         makespan = max(makespan, finish)
         heapq.heappush(warps, (finish, w))
+        if sink is not None:
+            # one pool chunk = one warp's atomically-fetched work item
+            sink.block_assigned(
+                block=c, sm=sm, start_cycles=t, end_cycles=finish, warps=1
+            )
+            sink.warp_complete(unit=c, sm=sm, at_cycles=finish)
     occupancy = busy_total / (makespan * spec.max_resident_warps)
     return EventSimResult(
         makespan_cycles=float(makespan),

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.metrics import MetricsRegistry, get_registry
 from .costmodel import PipelineTiming
 from .kernel import PipelineStats
 
@@ -119,6 +120,17 @@ class ProfileReport:
             "sectors_per_request": self.sectors_per_request,
             **self.extras,
         }
+
+    def publish(self, registry: MetricsRegistry | None = None, **labels) -> None:
+        """Publish this report into the metrics registry.
+
+        Uses the installed global registry when none is passed; a no-op
+        when metrics are disabled (the default).
+        """
+        registry = registry if registry is not None else get_registry()
+        if registry is None:
+            return
+        registry.observe_report(self.as_dict(), **labels)
 
     def summary(self) -> str:
         """Human-readable one-block summary (quickstart example output)."""

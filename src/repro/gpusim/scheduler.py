@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.events import get_event_sink
 from .config import GPUSpec
 from .kernel import LaunchConfig
 
@@ -49,6 +50,19 @@ class ScheduleResult:
     #: number of scheduled units (blocks or chunks)
     num_units: int
     policy: str
+
+
+def _emit_summary(result: ScheduleResult) -> ScheduleResult:
+    """Report a finished schedule to the observability event sink."""
+    sink = get_event_sink()
+    if sink is not None:
+        sink.schedule_summary(
+            policy=result.policy,
+            num_units=result.num_units,
+            makespan_cycles=result.makespan_cycles,
+            overhead_cycles=result.overhead_cycles,
+        )
+    return result
 
 
 def greedy_makespan(
@@ -129,13 +143,13 @@ def hardware_schedule(
     # Busy cycles: a block's warp slots are held for the block's duration,
     # but only `warp_cycles` of it is useful work.
     busy = float(warp_cycles.sum())
-    return ScheduleResult(
+    return _emit_summary(ScheduleResult(
         makespan_cycles=float(makespan),
         busy_warp_cycles=busy,
         overhead_cycles=float(overhead),
         num_units=n_blocks,
         policy="hardware",
-    )
+    ))
 
 
 def static_schedule(
@@ -166,13 +180,13 @@ def static_schedule(
     pad_b = (-n_blocks) % slots
     per_slot = np.pad(block_cost, (0, pad_b)).reshape(-1, slots).sum(axis=0)
     makespan = float(per_slot.max())
-    return ScheduleResult(
+    return _emit_summary(ScheduleResult(
         makespan_cycles=makespan,
         busy_warp_cycles=float(warp_cycles.sum()),
         overhead_cycles=0.0,
         num_units=n_blocks,
         policy="static",
-    )
+    ))
 
 
 def software_pool_schedule(
@@ -208,10 +222,10 @@ def software_pool_schedule(
         chunk_cost, resident_warps, per_task_overhead=fetch_cost
     )
     overhead = fetch_cost * n_chunks / resident_warps
-    return ScheduleResult(
+    return _emit_summary(ScheduleResult(
         makespan_cycles=float(makespan),
         busy_warp_cycles=float(vertex_cycles.sum()),
         overhead_cycles=float(overhead),
         num_units=n_chunks,
         policy="software",
-    )
+    ))

@@ -28,6 +28,7 @@ from ..gpusim.microsim import AddressMap, MicroSim
 from ..gpusim.occupancy import theoretical_occupancy
 from ..gpusim.scheduler import ScheduleResult
 from ..models.convspec import ConvWorkload, reference_aggregate
+from ..obs.tracer import span
 
 __all__ = [
     "ConvKernel",
@@ -110,10 +111,17 @@ class ConvKernel(ABC):
 
     def execute(self, workload: ConvWorkload, spec: GPUSpec = V100) -> KernelResult:
         """Run + analyze + cost-model in one call."""
-        output = self.run(workload)
-        stats, schedule = self.analyze(workload, spec)
-        occ = theoretical_occupancy(stats.launch, spec).theoretical
-        timing = estimate_kernel(stats, schedule, spec, theoretical_occupancy=occ)
+        with span("kernel.run", kernel=self.name):
+            output = self.run(workload)
+        with span("kernel.analyze", kernel=self.name) as sp:
+            stats, schedule = self.analyze(workload, spec)
+            if sp is not None:
+                sp.set(num_units=schedule.num_units, policy=schedule.policy)
+        with span("kernel.timing", kernel=self.name) as sp:
+            occ = theoretical_occupancy(stats.launch, spec).theoretical
+            timing = estimate_kernel(stats, schedule, spec, theoretical_occupancy=occ)
+            if sp is not None:
+                sp.add_modeled(timing.gpu_seconds)
         return KernelResult(output=output, stats=stats, schedule=schedule, timing=timing)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,265 @@
+"""Persistent archive of profiled runs + counter-regression diff engine.
+
+Every archived run is one JSON file holding a schema version, a **config
+fingerprint** (dataset, seed, feat_dim, max_edges, and the full GPUSpec —
+two runs are only comparable when their fingerprints match), and the full
+:meth:`~repro.gpusim.profiler.ProfileReport.as_dict` metric set.  The
+diff engine compares two archived runs metric-by-metric against
+per-metric tolerances and flags regressions, which is what lets a perf PR
+*prove* its speedup (or an accidental counter drift) against an archived
+baseline: ``python -m repro diff baseline.json candidate.json`` exits
+non-zero and names the offending metric.
+
+Tolerances distinguish three metric classes:
+
+* **modeled counters** (bytes moved, kernel launches, sector/request) are
+  deterministic functions of the access pattern — tolerance 0;
+* **modeled times/ratios** (runtime, occupancy, …) are deterministic too
+  but float-accumulated — a small relative tolerance absorbs refactors
+  that only reorder float math;
+* **host wall times** (pre-processing) genuinely vary run to run — a wide
+  relative band plus an absolute floor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_TOLERANCES",
+    "Tolerance",
+    "MetricDelta",
+    "DiffResult",
+    "ProfileArchive",
+    "config_fingerprint",
+    "diff_runs",
+    "load_run",
+]
+
+#: bump when the archive file layout changes incompatibly
+SCHEMA_VERSION = 1
+
+
+def config_fingerprint(
+    *, dataset: str, seed: int, feat_dim: int, max_edges: int | None = None,
+    spec=None, model: str | None = None, system: str | None = None,
+) -> str:
+    """Stable hash of everything that determines a run's counters."""
+    payload = {
+        "dataset": dataset,
+        "seed": seed,
+        "feat_dim": feat_dim,
+        "max_edges": max_edges,
+        "model": model,
+        "system": system,
+        "spec": asdict(spec) if spec is not None else None,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed drift for one metric: relative band + absolute floor."""
+
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def allows(self, baseline: float, candidate: float) -> bool:
+        delta = abs(candidate - baseline)
+        return delta <= max(self.rel * abs(baseline), self.abs, 1e-12)
+
+
+#: per-metric tolerances for ProfileReport.as_dict() entries
+DEFAULT_TOLERANCES: dict[str, Tolerance] = {
+    # modeled counters: exact
+    "kernel_launches": Tolerance(),
+    "mem_load_bytes": Tolerance(),
+    "mem_atomic_store_bytes": Tolerance(),
+    "mem_total_bytes": Tolerance(),
+    "global_mem_usage_bytes": Tolerance(),
+    "sectors_per_request": Tolerance(rel=1e-9),
+    # modeled times & derived ratios: small float band
+    "runtime_ms": Tolerance(rel=0.02),
+    "gpu_time_ms": Tolerance(rel=0.02),
+    "launch_overhead_ms": Tolerance(rel=0.02),
+    "sm_utilization": Tolerance(rel=0.02),
+    "achieved_occupancy": Tolerance(rel=0.02),
+    "stall_long_scoreboard": Tolerance(rel=0.02),
+    # host wall time: genuinely nondeterministic
+    "preprocess_ms": Tolerance(rel=0.75, abs=5.0),
+}
+
+#: applied to numeric metrics with no entry above (extras etc.)
+_FALLBACK_TOLERANCE = Tolerance(rel=0.05)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across two runs."""
+
+    metric: str
+    baseline: float
+    candidate: float
+    tolerance: Tolerance
+    regressed: bool
+
+    @property
+    def rel_delta(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.candidate == 0 else float("inf")
+        return (self.candidate - self.baseline) / abs(self.baseline)
+
+    def describe(self) -> str:
+        arrow = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.metric:<24} {self.baseline:>16.6g} -> "
+            f"{self.candidate:>16.6g}  ({self.rel_delta:+.2%})  [{arrow}]"
+        )
+
+
+@dataclass
+class DiffResult:
+    """Outcome of diffing two archived runs."""
+
+    deltas: list[MetricDelta]
+    fingerprint_match: bool
+    missing_metrics: list[str]
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing_metrics
+
+    def render(self) -> str:
+        lines = []
+        if not self.fingerprint_match:
+            lines.append(
+                "WARNING: config fingerprints differ — runs are not the same "
+                "workload; deltas below compare apples to oranges"
+            )
+        for d in self.deltas:
+            lines.append("  " + d.describe())
+        for m in self.missing_metrics:
+            lines.append(f"  {m:<24} missing from candidate  [REGRESSED]")
+        n = len(self.regressions) + len(self.missing_metrics)
+        lines.append(
+            "PASS: no counter regressions" if self.ok
+            else f"FAIL: {n} metric(s) regressed: "
+            + ", ".join(
+                [d.metric for d in self.regressions] + self.missing_metrics
+            )
+        )
+        return "\n".join(lines)
+
+
+def diff_runs(
+    baseline: dict, candidate: dict, *, tolerances: dict[str, Tolerance] | None = None
+) -> DiffResult:
+    """Compare two archive entries (as loaded dicts) metric by metric."""
+    tol = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        tol.update(tolerances)
+    base_m, cand_m = baseline["metrics"], candidate["metrics"]
+    deltas: list[MetricDelta] = []
+    missing: list[str] = []
+    for name, b in base_m.items():
+        if isinstance(b, str) or not isinstance(b, (int, float)):
+            continue
+        if name not in cand_m:
+            missing.append(name)
+            continue
+        c = cand_m[name]
+        t = tol.get(name, _FALLBACK_TOLERANCE)
+        deltas.append(
+            MetricDelta(
+                metric=name, baseline=float(b), candidate=float(c),
+                tolerance=t, regressed=not t.allows(float(b), float(c)),
+            )
+        )
+    return DiffResult(
+        deltas=deltas,
+        fingerprint_match=baseline.get("fingerprint") == candidate.get("fingerprint"),
+        missing_metrics=missing,
+    )
+
+
+def load_run(path: str | Path) -> dict:
+    """Load and schema-check one archived run."""
+    with open(path) as fh:
+        entry = json.load(fh)
+    version = entry.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: archive schema {version!r} != supported {SCHEMA_VERSION}"
+        )
+    if "metrics" not in entry or "fingerprint" not in entry:
+        raise ValueError(f"{path}: not a profile-archive entry")
+    return entry
+
+
+class ProfileArchive:
+    """Directory of archived profile runs (one JSON file per run)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        report,
+        *,
+        seed: int,
+        feat_dim: int,
+        max_edges: int | None = None,
+        spec=None,
+        extra: dict | None = None,
+    ) -> Path:
+        """Persist one :class:`ProfileReport`; returns the file path."""
+        fp = config_fingerprint(
+            dataset=report.dataset, seed=seed, feat_dim=feat_dim,
+            max_edges=max_edges, spec=spec, model=report.model,
+            system=report.system,
+        )
+        entry = {
+            "schema_version": SCHEMA_VERSION,
+            "fingerprint": fp,
+            "recorded_unix": time.time(),
+            "config": {
+                "system": report.system,
+                "model": report.model,
+                "dataset": report.dataset,
+                "seed": seed,
+                "feat_dim": feat_dim,
+                "max_edges": max_edges,
+                "spec": asdict(spec) if spec is not None else None,
+            },
+            "metrics": report.as_dict(),
+        }
+        if extra:
+            entry["extra"] = extra
+        stem = f"{report.system}-{report.model}-{report.dataset}-{fp}".lower()
+        n = len(list(self.root.glob(f"{stem}-*.json")))
+        path = self.root / f"{stem}-{n:03d}.json"
+        path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def runs(self, *, fingerprint: str | None = None) -> list[Path]:
+        """Archived run files, oldest first (by recording order)."""
+        paths = sorted(self.root.glob("*.json"))
+        if fingerprint is None:
+            return paths
+        return [p for p in paths if load_run(p)["fingerprint"] == fingerprint]
+
+    def latest(self, *, fingerprint: str | None = None) -> Path | None:
+        paths = self.runs(fingerprint=fingerprint)
+        return paths[-1] if paths else None

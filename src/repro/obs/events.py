@@ -1,0 +1,101 @@
+"""Event sink for the discrete-event GPU simulators.
+
+:mod:`repro.gpusim.eventsim` and :mod:`repro.gpusim.scheduler` emit
+structured events here when a sink is installed (block→SM assignment,
+warp completion, schedule summaries, atomic serialization); the sink is
+``None`` by default so the simulators pay one module-global load on the
+disabled path.  :mod:`repro.obs.timeline` replays kernels through the
+instrumented simulators to build the per-SM Chrome-trace tracks.
+
+Events are plain dicts with a ``kind`` plus kind-specific fields, all in
+*modeled* units (cycles); the timeline builder converts to microseconds.
+The sink is bounded: past ``max_events`` it counts drops instead of
+growing without limit (a 100M-edge graph schedules millions of blocks),
+and the drop count is surfaced in the exported trace metadata — a
+truncated timeline never silently poses as a complete one.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EventSink", "get_event_sink", "set_event_sink"]
+
+
+class EventSink:
+    """Bounded collector of simulator events."""
+
+    def __init__(self, *, max_events: int = 200_000):
+        self.max_events = max_events
+        self.events: list[dict] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        fields["kind"] = kind
+        self.events.append(fields)
+
+    # convenience emitters used by eventsim/scheduler -------------------
+    def kernel_launch(self, name: str, *, num_blocks: int, num_warps: int) -> None:
+        self.emit("kernel_launch", name=name, num_blocks=num_blocks,
+                  num_warps=num_warps)
+
+    def block_assigned(
+        self, *, block: int, sm: int, start_cycles: float, end_cycles: float,
+        warps: int,
+    ) -> None:
+        self.emit(
+            "block_assigned", block=block, sm=sm, start_cycles=start_cycles,
+            end_cycles=end_cycles, warps=warps,
+        )
+
+    def warp_complete(self, *, unit: int, sm: int, at_cycles: float) -> None:
+        self.emit("warp_complete", unit=unit, sm=sm, at_cycles=at_cycles)
+
+    def schedule_summary(
+        self, *, policy: str, num_units: int, makespan_cycles: float,
+        overhead_cycles: float,
+    ) -> None:
+        self.emit(
+            "schedule", policy=policy, num_units=num_units,
+            makespan_cycles=makespan_cycles, overhead_cycles=overhead_cycles,
+        )
+
+    def atomic_serialization(
+        self, *, kernel: str, atomic_ops: int, collision_rate: float,
+        atomic_seconds: float,
+    ) -> None:
+        self.emit(
+            "atomic_serialization", kernel=kernel, atomic_ops=atomic_ops,
+            collision_rate=collision_rate, atomic_seconds=atomic_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def by_kind(self, kind: str) -> list[dict]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# ----------------------------------------------------------------------
+_SINK: EventSink | None = None
+
+
+def get_event_sink() -> EventSink | None:
+    """The installed sink, or None when event capture is disabled."""
+    return _SINK
+
+
+def set_event_sink(sink: EventSink | None) -> EventSink | None:
+    """Install (or, with None, disable) the global event sink; returns the
+    previous one so callers can restore it."""
+    global _SINK
+    previous = _SINK
+    _SINK = sink
+    return previous

@@ -1,0 +1,177 @@
+"""Counter/gauge metrics registry with a JSONL sink.
+
+:class:`~repro.gpusim.profiler.ProfileReport` (via ``publish()``) and the
+cost model (:func:`repro.gpusim.costmodel.estimate_kernel`) publish into
+the installed registry; nothing is recorded when no registry is installed
+(the default — one module-global load on the hot path).
+
+* **Counter** — monotonically accumulating quantity (sectors moved,
+  atomic ops issued, kernels launched).
+* **Gauge** — last-observed value (occupancy, SM utilization, runtime of
+  the most recent run).
+
+Metrics are keyed by name + sorted label items, Prometheus-style, e.g.::
+
+    registry.counter("kernel_atomic_ops", kernel="spmm_coo_atomic").inc(n)
+
+``dump_jsonl(path)`` appends one JSON object per metric so successive
+runs accumulate an audit log; ``snapshot()`` returns the same records as
+dicts for in-process assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry", "get_registry", "set_registry"]
+
+
+class Counter:
+    """Monotonic accumulator."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-observed value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+#: ProfileReport.as_dict() keys that accumulate across runs; the rest are
+#: point-in-time observations and publish as gauges.
+_REPORT_COUNTERS = frozenset(
+    {
+        "kernel_launches",
+        "mem_load_bytes",
+        "mem_atomic_store_bytes",
+        "mem_total_bytes",
+    }
+)
+
+
+class MetricsRegistry:
+    """Holds every metric of a run (or a whole bench session)."""
+
+    def __init__(self):
+        self._metrics: dict[tuple, Counter | Gauge] = {}
+
+    # ------------------------------------------------------------------
+    def _key(self, name: str, labels: dict) -> tuple:
+        return (name, tuple(sorted(labels.items())))
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = self._key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Counter(name, labels)
+        elif not isinstance(metric, Counter):
+            raise TypeError(f"{name}{labels} is already a Gauge")
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = self._key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Gauge(name, labels)
+        elif not isinstance(metric, Gauge):
+            raise TypeError(f"{name}{labels} is already a Counter")
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    def observe_report(self, report_dict: dict, **labels) -> None:
+        """Publish a :meth:`ProfileReport.as_dict` into the registry.
+
+        String-valued entries (system/model/dataset) become labels on
+        every published metric; numeric entries become ``profile_<name>``
+        counters/gauges.
+        """
+        tags = {
+            k: v for k, v in report_dict.items() if isinstance(v, str)
+        }
+        tags.update(labels)
+        for name, value in report_dict.items():
+            if isinstance(value, str) or not isinstance(value, (int, float)):
+                continue
+            if name in _REPORT_COUNTERS:
+                self.counter(f"profile_{name}", **tags).inc(value)
+            else:
+                self.gauge(f"profile_{name}", **tags).set(value)
+
+    def observe_kernel_timing(self, name: str, timing, stats) -> None:
+        """Publish one kernel's cost-model output (called by
+        :func:`repro.gpusim.costmodel.estimate_kernel`)."""
+        self.counter("kernel_estimates", kernel=name).inc()
+        self.counter("kernel_total_bytes", kernel=name).inc(stats.total_bytes)
+        self.counter("kernel_atomic_ops", kernel=name).inc(stats.atomic_ops)
+        self.gauge("kernel_gpu_seconds", kernel=name).set(timing.gpu_seconds)
+        self.gauge("kernel_occupancy", kernel=name).set(timing.occupancy)
+        self.gauge(
+            "kernel_sectors_per_request", kernel=name
+        ).set(timing.sectors_per_request)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict]:
+        """All metrics as flat records (sorted for stable output)."""
+        records = []
+        for (name, label_items), metric in sorted(self._metrics.items()):
+            records.append(
+                {
+                    "name": name,
+                    "type": "counter" if isinstance(metric, Counter) else "gauge",
+                    "labels": dict(label_items),
+                    "value": metric.value,
+                }
+            )
+        return records
+
+    def dump_jsonl(self, path: str | Path, *, timestamp: float | None = None) -> int:
+        """Append one JSON line per metric to ``path``; returns the count."""
+        records = self.snapshot()
+        stamp = time.time() if timestamp is None else timestamp
+        with open(path, "a") as fh:
+            for rec in records:
+                rec["ts"] = stamp
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        return len(records)
+
+
+# ----------------------------------------------------------------------
+_REGISTRY: MetricsRegistry | None = None
+
+
+def get_registry() -> MetricsRegistry | None:
+    """The installed registry, or None when metrics are disabled."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install (or, with None, disable) the global registry; returns the
+    previous one so callers can restore it."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

@@ -1,0 +1,172 @@
+"""Chrome-trace-event JSON timelines of a profiled run.
+
+Converts one :class:`~repro.frameworks.base.SystemResult` into a trace
+loadable in Perfetto / ``chrome://tracing``:
+
+* **pid 2 — "GPU (modeled)"**: a ``kernels`` track whose complete events
+  (``ph="X"``) are the pipeline's kernels laid end to end — their summed
+  durations equal ``ProfileReport.gpu_time_ms`` exactly — plus **one
+  track per simulated SM** showing block residency, produced by replaying
+  each kernel's per-unit costs through the instrumented discrete-event
+  simulator (:func:`repro.gpusim.eventsim.simulate_hardware_scheduler`
+  with an :class:`~repro.obs.events.EventSink` installed).  Because a
+  kernel's modeled GPU time can exceed its SM makespan (bandwidth- or
+  atomic-bound kernels), the replayed block events are stretched to fill
+  the kernel's window — relative SM load stays faithful.
+* **pid 1 — "host (wall clock)"**: the span tree of an optional
+  :class:`~repro.obs.tracer.Tracer` (harness / pipeline / kernel spans).
+
+Timestamps are microseconds and monotonic per track.  Event counts are
+bounded per kernel; any drops are reported in ``otherData.dropped_events``
+rather than silently truncating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .events import EventSink, set_event_sink
+from .tracer import Tracer
+
+__all__ = ["build_timeline", "write_timeline"]
+
+_GPU_PID = 2
+_KERNEL_TID = 0  # SM s lives on tid s+1
+
+
+def _meta(pid: int, tid: int, kind: str, name: str) -> dict:
+    return {"name": kind, "ph": "M", "pid": pid, "tid": tid, "ts": 0,
+            "args": {"name": name}}
+
+
+def build_timeline(
+    result,
+    spec,
+    *,
+    tracer: Tracer | None = None,
+    max_block_events_per_kernel: int = 20_000,
+) -> dict:
+    """Build the Chrome trace object for one profiled run."""
+    from ..gpusim.eventsim import simulate_hardware_scheduler
+
+    report = getattr(result, "report", result)
+    events: list[dict] = [
+        _meta(_GPU_PID, _KERNEL_TID, "process_name", "GPU (modeled)"),
+        _meta(_GPU_PID, _KERNEL_TID, "thread_name", "kernels"),
+    ]
+    for sm in range(spec.num_sms):
+        events.append(_meta(_GPU_PID, sm + 1, "thread_name", f"SM {sm}"))
+
+    cursor_us = 0.0
+    dropped = 0
+    cycles_to_us = 1e6 / spec.clock_hz
+    for stats, timing in zip(report.stats.kernels, report.timing.kernels):
+        dur_us = timing.gpu_seconds * 1e6
+        events.append(
+            {
+                "name": timing.name,
+                "ph": "X",
+                "ts": cursor_us,
+                "dur": dur_us,
+                "pid": _GPU_PID,
+                "tid": _KERNEL_TID,
+                "args": {
+                    "gpu_ms": timing.gpu_seconds * 1e3,
+                    "occupancy": timing.occupancy,
+                    "sm_utilization": timing.sm_utilization,
+                    "total_bytes": timing.total_bytes,
+                    "atomic_bytes": timing.atomic_bytes,
+                    "sectors_per_request": timing.sectors_per_request,
+                },
+            }
+        )
+        if stats.atomic_ops:
+            events.append(
+                {
+                    "name": "atomic serialization (ops)",
+                    "ph": "C",
+                    "ts": cursor_us,
+                    "pid": _GPU_PID,
+                    "tid": _KERNEL_TID,
+                    "args": {"atomic_ops": stats.atomic_ops},
+                }
+            )
+
+        if stats.warp_cycles.size:
+            sink = EventSink(max_events=max_block_events_per_kernel)
+            previous = set_event_sink(sink)
+            try:
+                sim = simulate_hardware_scheduler(
+                    stats.warp_cycles, stats.launch, spec
+                )
+            finally:
+                set_event_sink(previous)
+            dropped += sink.dropped
+            sim_us = sim.makespan_cycles * cycles_to_us
+            # stretch SM activity to fill the kernel's (possibly
+            # bandwidth-bound) window
+            scale = dur_us / sim_us if sim_us > 0 else 0.0
+            for ev in sink.by_kind("block_assigned"):
+                start = cursor_us + ev["start_cycles"] * cycles_to_us * scale
+                end = cursor_us + ev["end_cycles"] * cycles_to_us * scale
+                events.append(
+                    {
+                        "name": f"{timing.name} block",
+                        "ph": "X",
+                        "ts": start,
+                        "dur": max(end - start, 0.0),
+                        "pid": _GPU_PID,
+                        "tid": ev["sm"] + 1,
+                        "args": {"block": ev["block"], "warps": ev["warps"]},
+                    }
+                )
+            for ev in sink.by_kind("warp_complete"):
+                events.append(
+                    {
+                        "name": "warp_complete",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": cursor_us + ev["at_cycles"] * cycles_to_us * scale,
+                        "pid": _GPU_PID,
+                        "tid": ev["sm"] + 1,
+                        "args": {"unit": ev["unit"]},
+                    }
+                )
+        cursor_us += dur_us
+
+    if tracer is not None:
+        events.extend(tracer.to_chrome_trace(pid=1))
+
+    # stable ordering: metadata first, then by (track, time)
+    events.sort(key=lambda e: (e["ph"] != "M", e["pid"], e["tid"], e["ts"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "system": report.system,
+            "model": report.model,
+            "dataset": report.dataset,
+            "num_sms": spec.num_sms,
+            "gpu_time_ms": report.gpu_time_ms,
+            "runtime_ms": report.runtime_ms,
+            "dropped_events": dropped,
+        },
+    }
+
+
+def write_timeline(
+    path: str | Path,
+    result,
+    spec,
+    *,
+    tracer: Tracer | None = None,
+    max_block_events_per_kernel: int = 20_000,
+) -> dict:
+    """Build and write the timeline JSON; returns the trace object."""
+    trace = build_timeline(
+        result, spec, tracer=tracer,
+        max_block_events_per_kernel=max_block_events_per_kernel,
+    )
+    Path(path).write_text(json.dumps(trace) + "\n")
+    return trace

@@ -1,0 +1,245 @@
+"""Hierarchical span tracer with wall-clock + modeled-time attribution.
+
+A :class:`Span` is one timed region; spans nest to form a tree.  Call
+sites use the module-level :func:`span` context manager, which costs one
+module-global load and a tuple comparison when tracing is disabled (the
+default) — no allocation, no object creation — so the hooks can live
+permanently in hot paths like ``run_system`` and kernel ``analyze()``.
+
+Two clocks
+----------
+* **wall** — host ``perf_counter`` time actually spent inside the region
+  (building counters, running the numpy kernels, costing the model).
+* **modeled** — simulated GPU seconds attributed to the region via
+  :meth:`Span.add_modeled` (e.g. a kernel's ``gpu_seconds``).  The two are
+  deliberately separate: the reproduction *computes* timings rather than
+  experiencing them.
+
+Export
+------
+:meth:`Tracer.to_chrome_trace` renders the span tree as Chrome trace
+events (``ph="X"`` complete events, microsecond timestamps) loadable in
+Perfetto / ``chrome://tracing``; :mod:`repro.obs.timeline` merges these
+host tracks with the modeled per-SM timeline.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "current_span",
+    "get_tracer",
+    "set_tracer",
+]
+
+
+class Span:
+    """One timed region of the span tree."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start_s",
+        "end_s",
+        "modeled_seconds",
+        "children",
+        "error",
+    )
+
+    def __init__(self, name: str, attrs: dict | None = None, *, start_s: float = 0.0):
+        self.name = name
+        self.attrs = attrs or {}
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.modeled_seconds = 0.0
+        self.children: list[Span] = []
+        self.error: str | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def wall_seconds(self) -> float:
+        """Wall time inside the region (0.0 while still open)."""
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    @property
+    def closed(self) -> bool:
+        return self.end_s is not None
+
+    def add_modeled(self, seconds: float) -> None:
+        """Attribute modeled (simulated-GPU) seconds to this span."""
+        self.modeled_seconds += float(seconds)
+
+    def set(self, **attrs) -> None:
+        """Attach attributes (rendered as Chrome-trace ``args``)."""
+        self.attrs.update(attrs)
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.wall_seconds * 1e3:.3f} ms" if self.closed else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager: the whole disabled-tracer path.
+
+    A single module-level instance is returned by :func:`span` whenever no
+    tracer is installed, so the disabled path performs zero allocations
+    (asserted by the tests).
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class Tracer:
+    """Collects a forest of nested spans.
+
+    Use as::
+
+        tracer = Tracer()
+        set_tracer(tracer)
+        with span("bench.run_system", system="TLPGNN") as sp:
+            ...
+            sp.add_modeled(report.timing.gpu_seconds)
+
+    The tracer is exception-safe: a span raised through is closed, marked
+    with ``error``, and the stack unwinds to its parent.
+    """
+
+    def __init__(self, *, clock=time.perf_counter):
+        self._clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self.epoch_s = clock()
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        sp = Span(name, attrs or None, start_s=self._clock())
+        if self._stack:
+            self._stack[-1].children.append(sp)
+        else:
+            self.roots.append(sp)
+        self._stack.append(sp)
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            sp.end_s = self._clock()
+            self._stack.pop()
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    @property
+    def num_spans(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    # ------------------------------------------------------------------
+    def to_chrome_trace(
+        self, *, pid: int = 1, tid: int = 1, process_name: str = "host (wall clock)"
+    ) -> list[dict]:
+        """Render the span forest as Chrome trace events (µs timestamps)."""
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": process_name},
+            }
+        ]
+
+        def emit(sp: Span) -> None:
+            if not sp.closed:  # open spans cannot be rendered as complete
+                return
+            args = dict(sp.attrs)
+            if sp.modeled_seconds:
+                args["modeled_ms"] = sp.modeled_seconds * 1e3
+            if sp.error:
+                args["error"] = sp.error
+            events.append(
+                {
+                    "name": sp.name,
+                    "ph": "X",
+                    "ts": (sp.start_s - self.epoch_s) * 1e6,
+                    "dur": sp.wall_seconds * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            for child in sp.children:
+                emit(child)
+
+        for root in self.roots:
+            emit(root)
+        return events
+
+
+# ----------------------------------------------------------------------
+# module-global tracer: None = disabled (the default)
+_TRACER: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    """The installed tracer, or None when tracing is disabled."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install (or, with None, disable) the global tracer; returns the
+    previous one so callers can restore it."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def span(name: str, **attrs):
+    """Open a span on the installed tracer; a shared no-op when disabled.
+
+    The disabled path returns a module-level singleton context manager and
+    yields ``None`` — call sites that annotate must guard::
+
+        with span("kernel.analyze", kernel=self.name) as sp:
+            stats, sched = ...
+            if sp is not None:
+                sp.set(num_units=sched.num_units)
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost open span, or None (disabled / between spans)."""
+    tracer = _TRACER
+    return tracer.current if tracer is not None else None

@@ -1,0 +1,104 @@
+"""ProfileReport: as_dict/summary consistency, edge cases, byte formatting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import V100
+from repro.gpusim.costmodel import PipelineTiming, estimate_kernel
+from repro.gpusim.kernel import KernelStats, LaunchConfig, PipelineStats
+from repro.gpusim.profiler import ProfileReport, _fmt_bytes
+from repro.gpusim.scheduler import ScheduleResult
+
+
+def _make_report(*, load_sectors=1000, load_requests=250, atomic_sectors=0,
+                 extras=None):
+    stats = KernelStats(
+        name="k",
+        launch=LaunchConfig(num_blocks=10, threads_per_block=128),
+        load_sectors=load_sectors,
+        load_requests=load_requests,
+        atomic_sectors=atomic_sectors,
+        instructions=4000,
+        warp_cycles=np.full(40, 100.0),
+    )
+    sched = ScheduleResult(4000.0, 4000.0, 0.0, 10, "hardware")
+    timing = estimate_kernel(stats, sched, V100)
+    pipe = PipelineStats(name="p")
+    pipe.add(stats)
+    pt = PipelineTiming(name="p", kernels=[timing])
+    return ProfileReport(
+        system="TLPGNN", model="gcn", dataset="CR", timing=pt, stats=pipe,
+        extras=extras or {},
+    )
+
+
+class TestAsDictSummaryConsistency:
+    def test_as_dict_matches_properties(self):
+        r = _make_report()
+        d = r.as_dict()
+        for key in (
+            "runtime_ms", "gpu_time_ms", "launch_overhead_ms", "preprocess_ms",
+            "kernel_launches", "mem_load_bytes", "mem_atomic_store_bytes",
+            "mem_total_bytes", "global_mem_usage_bytes", "sm_utilization",
+            "achieved_occupancy", "stall_long_scoreboard", "sectors_per_request",
+        ):
+            assert d[key] == getattr(r, key), key
+        assert d["system"] == r.system
+        assert d["model"] == r.model
+        assert d["dataset"] == r.dataset
+
+    def test_summary_renders_every_as_dict_headline(self):
+        r = _make_report()
+        d = r.as_dict()
+        s = r.summary()
+        assert f"{r.system} / {r.model} / {r.dataset}" in s
+        assert f"{d['runtime_ms']:.3f} ms" in s
+        assert f"{d['kernel_launches']}" in s
+        assert f"{d['sectors_per_request']:.2f}" in s
+        assert f"{100 * d['sm_utilization']:.1f}%" in s
+        assert f"{100 * d['achieved_occupancy']:.1f}%" in s
+
+    def test_summary_hides_zero_preprocess(self):
+        assert "pre-processing" not in _make_report().summary()
+
+    def test_extras_flow_into_as_dict(self):
+        r = _make_report(extras={"custom_metric": 42})
+        assert r.as_dict()["custom_metric"] == 42
+
+    def test_as_dict_is_json_serializable(self):
+        import json
+
+        json.dumps(_make_report().as_dict())
+
+
+class TestSectorsPerRequest:
+    def test_ratio(self):
+        r = _make_report(load_sectors=1000, load_requests=250)
+        assert r.sectors_per_request == pytest.approx(4.0)
+
+    def test_zero_requests_returns_zero(self):
+        r = _make_report(load_sectors=0, load_requests=0)
+        assert r.sectors_per_request == 0.0
+        # and the summary still renders without dividing by zero
+        assert "sector/request     : 0.00" in r.summary()
+
+
+class TestFmtBytes:
+    @pytest.mark.parametrize(
+        "n, expected",
+        [
+            (0, "0.00 B"),
+            (1023, "1023.00 B"),
+            (1024, "1.00 KB"),
+            (1024**2 - 1, "1024.00 KB"),
+            (1024**2, "1.00 MB"),
+            (1024**3, "1.00 GB"),
+            (1024**4, "1.00 TB"),
+            # beyond TB stays in TB rather than inventing units
+            (1024**5, f"{1024.0:.2f} TB"),
+            (-5, "-5.00 B"),
+            (-2 * 1024**2, "-2.00 MB"),
+        ],
+    )
+    def test_boundaries(self, n, expected):
+        assert _fmt_bytes(n) == expected

@@ -1,0 +1,147 @@
+"""Profile archive: persistence, fingerprints, and the regression diff."""
+
+import json
+
+import pytest
+
+from repro.bench import BenchConfig, get_dataset, make_features, run_system
+from repro.frameworks import SYSTEMS
+from repro.obs.archive import (
+    SCHEMA_VERSION,
+    ProfileArchive,
+    Tolerance,
+    config_fingerprint,
+    diff_runs,
+    load_run,
+)
+
+CONFIG = BenchConfig(max_edges=60_000, seed=7)
+
+
+def _report(system="TLPGNN", model="gcn", dataset="CR"):
+    ds = get_dataset(dataset, CONFIG)
+    X = make_features(ds.graph.num_vertices, CONFIG.feat_dim, seed=CONFIG.seed)
+    return run_system(SYSTEMS[system](), model, ds, CONFIG, X=X).report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return _report()
+
+
+class TestFingerprint:
+    def test_stable(self):
+        a = config_fingerprint(dataset="CR", seed=7, feat_dim=32)
+        b = config_fingerprint(dataset="CR", seed=7, feat_dim=32)
+        assert a == b
+
+    def test_sensitive_to_every_knob(self):
+        base = dict(dataset="CR", seed=7, feat_dim=32, max_edges=1000)
+        fp = config_fingerprint(**base)
+        for key, value in [
+            ("dataset", "RD"), ("seed", 8), ("feat_dim", 64), ("max_edges", 2000),
+        ]:
+            assert config_fingerprint(**{**base, key: value}) != fp
+
+    def test_sensitive_to_spec(self):
+        from repro.gpusim import V100, A100
+
+        a = config_fingerprint(dataset="CR", seed=7, feat_dim=32, spec=V100)
+        b = config_fingerprint(dataset="CR", seed=7, feat_dim=32, spec=A100)
+        assert a != b
+
+
+class TestArchive:
+    def test_record_and_load_roundtrip(self, tmp_path, report):
+        archive = ProfileArchive(tmp_path)
+        path = archive.record(
+            report, seed=7, feat_dim=32, max_edges=60_000,
+        )
+        entry = load_run(path)
+        assert entry["schema_version"] == SCHEMA_VERSION
+        assert entry["config"]["system"] == "TLPGNN"
+        assert entry["metrics"] == report.as_dict()
+
+    def test_successive_records_get_distinct_paths(self, tmp_path, report):
+        archive = ProfileArchive(tmp_path)
+        p0 = archive.record(report, seed=7, feat_dim=32)
+        p1 = archive.record(report, seed=7, feat_dim=32)
+        assert p0 != p1
+        assert archive.runs() == [p0, p1]
+        assert archive.latest() == p1
+
+    def test_runs_filter_by_fingerprint(self, tmp_path, report):
+        archive = ProfileArchive(tmp_path)
+        p0 = archive.record(report, seed=7, feat_dim=32)
+        archive.record(report, seed=8, feat_dim=32)
+        fp = load_run(p0)["fingerprint"]
+        assert archive.runs(fingerprint=fp) == [p0]
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 999, "metrics": {},
+                                   "fingerprint": "x"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_run(bad)
+
+    def test_load_rejects_non_archive_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": SCHEMA_VERSION}))
+        with pytest.raises(ValueError, match="not a profile-archive"):
+            load_run(bad)
+
+
+class TestDiff:
+    def _entries(self, tmp_path, report):
+        archive = ProfileArchive(tmp_path)
+        p0 = archive.record(report, seed=7, feat_dim=32)
+        p1 = archive.record(report, seed=7, feat_dim=32)
+        return load_run(p0), load_run(p1)
+
+    def test_identical_runs_pass(self, tmp_path, report):
+        base, cand = self._entries(tmp_path, report)
+        result = diff_runs(base, cand)
+        assert result.ok
+        assert result.fingerprint_match
+        assert not result.regressions
+        assert "PASS" in result.render()
+
+    def test_counter_perturbation_flags_the_metric(self, tmp_path, report):
+        base, cand = self._entries(tmp_path, report)
+        cand["metrics"]["mem_load_bytes"] += 4096
+        result = diff_runs(base, cand)
+        assert not result.ok
+        assert [d.metric for d in result.regressions] == ["mem_load_bytes"]
+        assert "mem_load_bytes" in result.render()
+        assert "FAIL" in result.render()
+
+    def test_within_tolerance_time_drift_passes(self, tmp_path, report):
+        base, cand = self._entries(tmp_path, report)
+        cand["metrics"]["runtime_ms"] *= 1.01  # inside the 2% band
+        assert diff_runs(base, cand).ok
+
+    def test_beyond_tolerance_time_drift_fails(self, tmp_path, report):
+        base, cand = self._entries(tmp_path, report)
+        cand["metrics"]["runtime_ms"] *= 1.10
+        result = diff_runs(base, cand)
+        assert [d.metric for d in result.regressions] == ["runtime_ms"]
+
+    def test_missing_metric_is_a_regression(self, tmp_path, report):
+        base, cand = self._entries(tmp_path, report)
+        del cand["metrics"]["mem_atomic_store_bytes"]
+        result = diff_runs(base, cand)
+        assert not result.ok
+        assert result.missing_metrics == ["mem_atomic_store_bytes"]
+
+    def test_custom_tolerance_override(self, tmp_path, report):
+        base, cand = self._entries(tmp_path, report)
+        cand["metrics"]["mem_load_bytes"] += 1
+        loose = {"mem_load_bytes": Tolerance(rel=0.5)}
+        assert diff_runs(base, cand, tolerances=loose).ok
+
+    def test_fingerprint_mismatch_warns(self, tmp_path, report):
+        base, cand = self._entries(tmp_path, report)
+        cand["fingerprint"] = "different"
+        result = diff_runs(base, cand)
+        assert not result.fingerprint_match
+        assert "WARNING" in result.render()

@@ -1,0 +1,113 @@
+"""Metrics registry: counters, gauges, report publishing, JSONL sink."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    r = MetricsRegistry()
+    previous = set_registry(r)
+    yield r
+    set_registry(previous)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        r = MetricsRegistry()
+        c = r.counter("sectors", kernel="spmm")
+        c.inc(10)
+        c.inc(5)
+        assert r.counter("sectors", kernel="spmm").value == 15
+        assert r.counter("sectors", kernel="other").value == 0  # label-scoped
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_overwrites(self):
+        r = MetricsRegistry()
+        r.gauge("occupancy").set(0.5)
+        r.gauge("occupancy").set(0.7)
+        assert r.gauge("occupancy").value == 0.7
+
+    def test_type_collision_raises(self):
+        r = MetricsRegistry()
+        r.counter("m")
+        with pytest.raises(TypeError):
+            r.gauge("m")
+
+    def test_disabled_by_default(self):
+        assert get_registry() is None
+
+
+class TestReportPublishing:
+    def _report(self):
+        from repro.bench import BenchConfig, get_dataset, make_features, run_system
+        from repro.frameworks import SYSTEMS
+
+        config = BenchConfig(max_edges=60_000, seed=7)
+        dataset = get_dataset("CR", config)
+        X = make_features(dataset.graph.num_vertices, config.feat_dim, seed=7)
+        return run_system(SYSTEMS["TLPGNN"](), "gcn", dataset, config, X=X).report
+
+    def test_run_system_publishes_when_registry_installed(self, registry):
+        report = self._report()
+        names = {rec["name"] for rec in registry.snapshot()}
+        # cost model published per-kernel metrics, report published profile_*
+        assert "kernel_gpu_seconds" in names
+        assert "profile_runtime_ms" in names
+        assert "profile_mem_load_bytes" in names
+        gauge = next(
+            rec for rec in registry.snapshot()
+            if rec["name"] == "profile_runtime_ms"
+        )
+        assert gauge["type"] == "gauge"
+        assert gauge["labels"]["system"] == "TLPGNN"
+        assert gauge["value"] == pytest.approx(report.runtime_ms)
+
+    def test_counters_accumulate_across_runs(self, registry):
+        self._report()
+        first = next(
+            rec for rec in registry.snapshot()
+            if rec["name"] == "profile_mem_load_bytes"
+        )["value"]
+        self._report()
+        second = next(
+            rec for rec in registry.snapshot()
+            if rec["name"] == "profile_mem_load_bytes"
+        )["value"]
+        assert second == pytest.approx(2 * first)
+
+    def test_explicit_registry_publish(self):
+        report = self._report()  # no global registry installed
+        r = MetricsRegistry()
+        report.publish(r, run="baseline")
+        rec = next(
+            rec for rec in r.snapshot() if rec["name"] == "profile_gpu_time_ms"
+        )
+        assert rec["labels"]["run"] == "baseline"
+
+
+class TestJsonlSink:
+    def test_dump_appends_valid_jsonl(self, tmp_path):
+        r = MetricsRegistry()
+        r.counter("a", k="1").inc(3)
+        r.gauge("b").set(0.5)
+        path = tmp_path / "metrics.jsonl"
+        assert r.dump_jsonl(path, timestamp=123.0) == 2
+        assert r.dump_jsonl(path, timestamp=124.0) == 2  # appends
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 4
+        assert {rec["name"] for rec in lines} == {"a", "b"}
+        assert all("ts" in rec and "value" in rec for rec in lines)
+        assert lines[0]["ts"] == 123.0 and lines[-1]["ts"] == 124.0

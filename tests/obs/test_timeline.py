@@ -1,0 +1,193 @@
+"""Chrome-trace timelines + the instrumented event-sim sink."""
+
+import json
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchConfig, get_dataset, make_features, run_system
+from repro.frameworks import SYSTEMS
+from repro.gpusim import V100, LaunchConfig, scaled_spec
+from repro.gpusim.eventsim import (
+    simulate_hardware_scheduler,
+    simulate_task_pool_warps,
+)
+from repro.obs.events import EventSink, get_event_sink, set_event_sink
+from repro.obs.timeline import build_timeline
+
+CONFIG = BenchConfig(max_edges=60_000, seed=7)
+
+
+def _run(system="TLPGNN", model="gcn", dataset="CR"):
+    ds = get_dataset(dataset, CONFIG)
+    X = make_features(ds.graph.num_vertices, CONFIG.feat_dim, seed=CONFIG.seed)
+    res = run_system(SYSTEMS[system](), model, ds, CONFIG, X=X)
+    return res, CONFIG.spec_for(ds)
+
+
+@pytest.fixture
+def sink():
+    s = EventSink()
+    previous = set_event_sink(s)
+    yield s
+    set_event_sink(previous)
+
+
+class TestEventSink:
+    def test_disabled_by_default(self):
+        assert get_event_sink() is None
+
+    def test_hardware_sim_emits_block_and_warp_events(self, sink):
+        spec = scaled_spec(V100, 0.05)
+        launch = LaunchConfig(num_blocks=8, threads_per_block=128)
+        rng = np.random.default_rng(0)
+        sim = simulate_hardware_scheduler(rng.uniform(50, 150, 32), launch, spec)
+        blocks = sink.by_kind("block_assigned")
+        assert len(blocks) == sim.num_blocks
+        assert len(sink.by_kind("warp_complete")) == sim.num_blocks
+        assert len(sink.by_kind("kernel_launch")) == 1
+        assert {b["sm"] for b in blocks} <= set(range(spec.num_sms))
+        for b in blocks:
+            assert b["end_cycles"] > b["start_cycles"] >= 0.0
+        assert max(b["end_cycles"] for b in blocks) == pytest.approx(
+            sim.makespan_cycles
+        )
+
+    def test_task_pool_sim_emits_chunk_events(self, sink):
+        spec = scaled_spec(V100, 0.05)
+        rng = np.random.default_rng(1)
+        sim = simulate_task_pool_warps(rng.uniform(5, 25, 128), spec, step=8)
+        assert len(sink.by_kind("block_assigned")) == sim.num_blocks
+        assert sink.by_kind("kernel_launch")[0]["name"] == "task_pool"
+
+    def test_sink_caps_and_counts_drops(self):
+        s = EventSink(max_events=5)
+        previous = set_event_sink(s)
+        try:
+            spec = scaled_spec(V100, 0.05)
+            launch = LaunchConfig(num_blocks=64, threads_per_block=32)
+            simulate_hardware_scheduler(np.full(64, 100.0), launch, spec)
+        finally:
+            set_event_sink(previous)
+        assert len(s) == 5
+        assert s.dropped > 0
+
+    def test_results_unchanged_by_sink(self):
+        spec = scaled_spec(V100, 0.05)
+        launch = LaunchConfig(num_blocks=8, threads_per_block=128)
+        costs = np.random.default_rng(2).uniform(50, 150, 32)
+        bare = simulate_hardware_scheduler(costs, launch, spec)
+        previous = set_event_sink(EventSink())
+        try:
+            observed = simulate_hardware_scheduler(costs, launch, spec)
+        finally:
+            set_event_sink(previous)
+        assert bare.makespan_cycles == observed.makespan_cycles
+        assert np.array_equal(bare.sm_busy_cycles, observed.sm_busy_cycles)
+
+    def test_scheduler_emits_summary(self, sink):
+        from repro.gpusim.scheduler import hardware_schedule
+
+        spec = scaled_spec(V100, 0.05)
+        launch = LaunchConfig(num_blocks=4, threads_per_block=128)
+        sched = hardware_schedule(np.full(16, 100.0), launch, spec)
+        summary, = sink.by_kind("schedule")
+        assert summary["policy"] == "hardware"
+        assert summary["makespan_cycles"] == sched.makespan_cycles
+
+
+class TestTimeline:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        res, spec = _run()
+        trace = build_timeline(res, spec)
+        # the exported object must round-trip through JSON
+        return json.loads(json.dumps(trace)), res, spec
+
+    def test_required_chrome_keys(self, trace):
+        obj, _, _ = trace
+        assert "traceEvents" in obj
+        for ev in obj["traceEvents"]:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in ev, f"{ev} missing {key}"
+
+    def test_one_track_per_simulated_sm(self, trace):
+        obj, _, spec = trace
+        sm_tracks = [
+            ev for ev in obj["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+            and ev["args"]["name"].startswith("SM ")
+        ]
+        assert len(sm_tracks) == spec.num_sms
+        # and every SM track actually carries block activity for this run
+        with_blocks = {
+            ev["tid"] for ev in obj["traceEvents"]
+            if ev["ph"] == "X" and ev["tid"] > 0 and ev["pid"] == 2
+        }
+        assert len(with_blocks) == spec.num_sms
+
+    def test_kernel_spans_reconcile_with_gpu_time(self, trace):
+        obj, res, _ = trace
+        kernel_spans = [
+            ev for ev in obj["traceEvents"]
+            if ev["ph"] == "X" and ev["pid"] == 2 and ev["tid"] == 0
+        ]
+        assert len(kernel_spans) == res.report.kernel_launches
+        total_us = sum(ev["dur"] for ev in kernel_spans)
+        assert total_us / 1e3 == pytest.approx(res.report.gpu_time_ms, rel=0.01)
+
+    def test_timestamps_monotonic_per_track(self, trace):
+        obj, _, _ = trace
+        by_track = defaultdict(list)
+        for ev in obj["traceEvents"]:
+            if ev["ph"] != "M":
+                by_track[(ev["pid"], ev["tid"])].append(ev["ts"])
+        assert by_track, "no timed events at all"
+        for track, ts in by_track.items():
+            assert ts == sorted(ts), f"track {track} not monotonic"
+            assert all(t >= 0 for t in ts)
+
+    def test_block_spans_fit_inside_their_kernel(self, trace):
+        obj, res, _ = trace
+        end_us = res.report.gpu_time_ms * 1e3
+        for ev in obj["traceEvents"]:
+            if ev["ph"] == "X" and ev["pid"] == 2 and ev["tid"] > 0:
+                assert ev["ts"] + ev["dur"] <= end_us * (1 + 1e-9)
+
+    def test_multi_kernel_pipeline_dgl(self):
+        res, spec = _run(system="DGL")
+        trace = build_timeline(res, spec)
+        kernel_spans = [
+            ev for ev in trace["traceEvents"]
+            if ev["ph"] == "X" and ev["pid"] == 2 and ev["tid"] == 0
+        ]
+        assert len(kernel_spans) == 6  # DGL GCN = 6 kernels
+        total_us = sum(ev["dur"] for ev in kernel_spans)
+        assert total_us / 1e3 == pytest.approx(res.report.gpu_time_ms, rel=0.01)
+
+    def test_atomic_serialization_counter_present_for_atomic_kernels(self):
+        res, spec = _run(system="DGL", model="gat")
+        trace = build_timeline(res, spec)
+        counters = [
+            ev for ev in trace["traceEvents"] if ev["ph"] == "C"
+        ]
+        assert any(ev["args"]["atomic_ops"] > 0 for ev in counters)
+
+    def test_host_tracer_track_included(self):
+        from repro.obs.tracer import Tracer, set_tracer
+
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            res, spec = _run()
+        finally:
+            set_tracer(previous)
+        trace = build_timeline(res, spec, tracer=tracer)
+        host = [ev for ev in trace["traceEvents"] if ev["pid"] == 1]
+        assert any(ev["name"] == "bench.run_system" for ev in host)
+
+    def test_event_cap_reported_not_silent(self):
+        res, spec = _run()
+        trace = build_timeline(res, spec, max_block_events_per_kernel=4)
+        assert trace["otherData"]["dropped_events"] > 0

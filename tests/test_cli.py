@@ -1,6 +1,7 @@
 """CLI: argument handling and command output."""
 
 import io
+import json
 
 import pytest
 
@@ -58,6 +59,17 @@ class TestCommands:
         assert code == 0
         assert "GNNAdvisor" in out and "dash" in out
 
+    def test_compare_all_dash_exits_nonzero(self, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "run_system", lambda *a, **kw: None)
+        code, out = run_cli(*ARGS, "compare", "--model", "gcn", "--dataset", "CR")
+        assert code == 1
+        for name in ("TLPGNN", "DGL", "FeatGraph", "GNNAdvisor"):
+            assert name in out
+        assert out.count("dash") == 4
+        assert "fastest" not in out
+
     def test_experiment_table4(self):
         code, out = run_cli(*ARGS, "experiment", "table4")
         assert code == 0
@@ -79,6 +91,74 @@ class TestCommands:
                             "--model", "gcn", "--dataset", "CR")
         assert code == 0
         assert out.count("-bound") == 6  # one line per DGL kernel
+
+
+class TestTraceAndDiff:
+    def test_trace_writes_loadable_chrome_json(self, tmp_path):
+        target = tmp_path / "trace.json"
+        code, out = run_cli(*ARGS, "trace", "--system", "TLPGNN",
+                            "--model", "gcn", "--dataset", "CR",
+                            "--out", str(target))
+        assert code == 0
+        assert f"wrote {target}" in out
+        trace = json.loads(target.read_text())
+        assert trace["traceEvents"]
+        assert trace["otherData"]["system"] == "TLPGNN"
+
+    def test_trace_dash_cell_exits_nonzero(self, tmp_path):
+        target = tmp_path / "trace.json"
+        code, out = run_cli(*ARGS, "trace", "--system", "GNNAdvisor",
+                            "--model", "gat", "--dataset", "CR",
+                            "--out", str(target))
+        assert code == 1
+        assert not target.exists()
+        assert "dash" in out
+
+    def test_trace_tracer_uninstalled_afterwards(self, tmp_path):
+        from repro.obs import get_tracer
+
+        run_cli(*ARGS, "trace", "--out", str(tmp_path / "t.json"))
+        assert get_tracer() is None
+
+    def _archive_two(self, tmp_path):
+        archive_dir = tmp_path / "archive"
+        for _ in range(2):
+            code, _ = run_cli(*ARGS, "run", "--system", "TLPGNN",
+                              "--model", "gcn", "--dataset", "CR",
+                              "--archive", str(archive_dir))
+            assert code == 0
+        runs = sorted(archive_dir.glob("*.json"))
+        assert len(runs) == 2
+        return runs
+
+    def test_run_archives_profile(self, tmp_path):
+        baseline, candidate = self._archive_two(tmp_path)
+        entry = json.loads(baseline.read_text())
+        assert entry["config"]["system"] == "TLPGNN"
+        assert entry["metrics"]["kernel_launches"] == 1
+
+    def test_diff_identical_runs_pass(self, tmp_path):
+        baseline, candidate = self._archive_two(tmp_path)
+        code, out = run_cli("diff", str(baseline), str(candidate))
+        assert code == 0
+        assert "PASS" in out
+
+    def test_diff_flags_perturbed_counter(self, tmp_path):
+        baseline, candidate = self._archive_two(tmp_path)
+        entry = json.loads(candidate.read_text())
+        entry["metrics"]["mem_atomic_store_bytes"] += 4096
+        candidate.write_text(json.dumps(entry))
+        code, out = run_cli("diff", str(baseline), str(candidate))
+        assert code == 1
+        assert "mem_atomic_store_bytes" in out
+        assert "FAIL" in out
+
+    def test_diff_bad_file_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        code, out = run_cli("diff", str(bad), str(bad))
+        assert code == 2
+        assert "error:" in out
 
 
 class TestValidateAndReport:

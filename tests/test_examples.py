@@ -15,11 +15,13 @@ ALL = [
     "multi_gpu_partition.py",
     "hetero_rgcn.py",
     "train_gcn.py",
+    "trace_timeline.py",
 ]
 
 
 @pytest.mark.parametrize("name", ALL)
-def test_example_runs(name, capsys):
+def test_example_runs(name, capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # examples may write output files
     runpy.run_path(str(EXAMPLES / name), run_name="__main__")
     out = capsys.readouterr().out
     assert len(out) > 100  # produced a real report
