@@ -10,6 +10,7 @@ from .harness import (
     run_system,
 )
 from .report import TableResult, render_table
+from .serving import SERVING_SYSTEMS, serving_scenario, sustained_rate
 from .sweep import sweep_feature_dims, sweep_grid, sweep_scales
 from .tables import table1, table2, table3, table4, table5
 from .validate import CLAIMS, ClaimResult, validate_claims
@@ -22,6 +23,9 @@ __all__ = [
     "run_comparison",
     "TableResult",
     "render_table",
+    "serving_scenario",
+    "sustained_rate",
+    "SERVING_SYSTEMS",
     "sweep_feature_dims",
     "sweep_scales",
     "sweep_grid",

@@ -47,6 +47,21 @@ class BenchConfig:
         return self.spec
 
 
+def _dataset_key(abbr: str, config: BenchConfig) -> tuple[str, int, int]:
+    """Canonical, hashable cache key for one (dataset, config) load.
+
+    Normalizes abbreviation aliases (" cs " == "CS") and coerces the
+    numeric knobs through ``int()`` so numpy scalars / 0-d arrays — which
+    either hash differently from equal Python ints or are unhashable —
+    can neither miss the cache nor blow up ``lru_cache``.
+    """
+    return (
+        str(abbr).strip().upper(),
+        int(config.max_edges),
+        int(config.seed),
+    )
+
+
 @lru_cache(maxsize=64)
 def _cached_dataset(abbr: str, max_edges: int, seed: int) -> Dataset:
     return load_dataset(abbr, max_edges=max_edges, seed=seed)
@@ -54,7 +69,7 @@ def _cached_dataset(abbr: str, max_edges: int, seed: int) -> Dataset:
 
 def get_dataset(abbr: str, config: BenchConfig) -> Dataset:
     """Load (and memoize) a dataset under this config's scaling."""
-    return _cached_dataset(abbr, config.max_edges, config.seed)
+    return _cached_dataset(*_dataset_key(abbr, config))
 
 
 def make_features(n: int, feat_dim: int, *, seed: int = 0) -> np.ndarray:

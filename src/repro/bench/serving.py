@@ -1,0 +1,182 @@
+"""Cross-system serving comparison under identical arrival traces.
+
+The offline tables (Table 5 etc.) compare one-shot runtimes; this
+scenario compares what the paper's launch-overhead story implies *online*:
+for each dataset, every system serves the **same** deterministic request
+trace (same seed, same rate) at a ladder of offered rates, and we report
+the highest rate each system *sustains* — zero shed requests and p99
+latency within the SLO.  TLPGNN's fused single launch keeps its service
+time near its GPU time, while DGL-sim's six-kernel pipeline pays launch +
+framework dispatch per kernel per batch, so its sustainable rate saturates
+far earlier — the serving-side restatement of Table 3.
+
+Results are published into the ``repro.obs`` metrics registry (installed
+or passed explicitly) as ``serve_*`` counters/gauges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frameworks import SYSTEMS, UnsupportedModelError
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..serve import ServableModel, ServeConfig, serve_trace
+from .harness import BenchConfig, get_dataset
+from .report import TableResult, fmt_ms
+
+__all__ = ["serving_scenario", "sustained_rate", "SERVING_SYSTEMS"]
+
+#: systems compared in the serving scenario (FeatGraph-sim is offline-only
+#: in the paper's evaluation and is omitted here)
+SERVING_SYSTEMS = ("TLPGNN", "DGL", "GNNAdvisor")
+
+#: offered-rate ladder, as multiples of the reference system's offline
+#: service rate (1/runtime); spans under-load through heavy overload
+_RATE_FRACTIONS = (0.25, 0.5, 0.8, 1.2, 2.0, 3.0, 5.0, 8.0, 12.0)
+
+
+def sustained_rate(
+    model: ServableModel,
+    rates: "np.ndarray | list[float]",
+    *,
+    slo_ms: float,
+    base_cfg: ServeConfig,
+):
+    """Highest offered rate the model serves with zero shed and p99 ≤ SLO.
+
+    Returns ``(rate_hz, report_at_that_rate)`` — ``(0.0, None)`` when even
+    the lowest rung fails.  Each rung reuses the same trace seed, so every
+    system at a given rung sees identical arrivals.
+    """
+    best_rate, best_report = 0.0, None
+    for rate in rates:
+        cfg = ServeConfig(
+            arrival=base_cfg.arrival,
+            rate_hz=float(rate),
+            num_requests=base_cfg.num_requests,
+            job=base_cfg.job,
+            targets_per_request=base_cfg.targets_per_request,
+            max_batch=base_cfg.max_batch,
+            window_s=base_cfg.window_s,
+            num_streams=base_cfg.num_streams,
+            queue_depth=base_cfg.queue_depth,
+            seed=base_cfg.seed,
+        )
+        report = serve_trace(model, cfg)
+        if report.shed == 0 and report.p99_ms <= slo_ms and rate > best_rate:
+            best_rate, best_report = float(rate), report
+    return best_rate, best_report
+
+
+def serving_scenario(
+    config: BenchConfig,
+    *,
+    model: str = "gcn",
+    datasets: tuple[str, ...] = ("CS", "CR"),
+    systems: tuple[str, ...] = SERVING_SYSTEMS,
+    slo_ms: float | None = None,
+    num_requests: int = 120,
+    max_batch: int = 4,
+    window_s: float = 200e-6,
+    num_streams: int = 2,
+    queue_depth: int = 64,
+    registry: MetricsRegistry | None = None,
+) -> TableResult:
+    """TLPGNN vs DGL-sim vs GNNAdvisor under identical arrival traces.
+
+    ``slo_ms=None`` sets the SLO per dataset to 2.5× the DGL-sim offline
+    runtime, so the baseline comfortably meets it at low load and the
+    comparison measures headroom, not a rigged bar.
+    """
+    registry = registry if registry is not None else get_registry()
+    rows: list[list[str]] = []
+    records: list[dict] = []
+    for abbr in datasets:
+        dataset = get_dataset(abbr, config)
+        spec = config.spec_for(dataset)
+        servables: dict[str, ServableModel | None] = {}
+        for name in systems:
+            try:
+                servables[name] = ServableModel(
+                    SYSTEMS[name](),
+                    model,
+                    dataset,
+                    feat_dim=config.feat_dim,
+                    spec=spec,
+                    seed=config.seed,
+                )
+            except UnsupportedModelError:
+                servables[name] = None
+        reference = servables.get("DGL") or next(
+            s for s in servables.values() if s is not None
+        )
+        ref_runtime_s = reference.offline_runtime_s
+        dataset_slo = (
+            slo_ms if slo_ms is not None else 2.5 * ref_runtime_s * 1e3
+        )
+        rates = [f / ref_runtime_s for f in _RATE_FRACTIONS]
+        base_cfg = ServeConfig(
+            num_requests=num_requests,
+            max_batch=max_batch,
+            window_s=window_s,
+            num_streams=num_streams,
+            queue_depth=queue_depth,
+            seed=config.seed,
+        )
+        for name in systems:
+            servable = servables[name]
+            if servable is None:
+                rows.append([abbr, name, "-", "-", "-", fmt_ms(dataset_slo)])
+                records.append(
+                    {"dataset": abbr, "system": name, "supported": False}
+                )
+                continue
+            rate, report = sustained_rate(
+                servable, rates, slo_ms=dataset_slo, base_cfg=base_cfg
+            )
+            if registry is not None and report is not None:
+                report.publish(
+                    registry, system=name, dataset=abbr, model=model
+                )
+                registry.gauge(
+                    "serve_sustained_rps", system=name, dataset=abbr,
+                    model=model,
+                ).set(rate)
+            rows.append(
+                [
+                    abbr,
+                    name,
+                    f"{rate:,.0f}" if report else "0",
+                    fmt_ms(report.p99_ms) if report else "-",
+                    fmt_ms(servable.offline_runtime_s * 1e3),
+                    fmt_ms(dataset_slo),
+                ]
+            )
+            records.append(
+                {
+                    "dataset": abbr,
+                    "system": name,
+                    "supported": True,
+                    "sustained_rps": rate,
+                    "p99_ms": report.p99_ms if report else None,
+                    "throughput_rps": report.throughput_rps if report else 0.0,
+                    "offline_runtime_ms": servable.offline_runtime_s * 1e3,
+                    "slo_ms": dataset_slo,
+                }
+            )
+    return TableResult(
+        exp_id="serving",
+        title=f"sustained load at p99 SLO ({model}, identical traces)",
+        headers=[
+            "dataset", "system", "sustained req/s", "p99 ms", "offline ms",
+            "SLO ms",
+        ],
+        rows=rows,
+        records=records,
+        notes=(
+            "sustained = highest offered rate with zero shed requests and "
+            "p99 <= SLO; every system at a rung serves the identical "
+            "Poisson trace (same seed).  SLO defaults to 2.5x the DGL-sim "
+            "offline runtime per dataset."
+        ),
+    )

@@ -13,6 +13,9 @@ trace               profile one cell and export a Chrome-trace timeline
                     (one track per simulated SM; Perfetto loadable)
 diff                compare two archived profile runs metric-by-metric;
                     exit 1 when a counter regressed beyond tolerance
+serve               simulated online inference serving (open-loop trace,
+                    dynamic batching, admission control, CUDA-like
+                    streams); --compare runs the cross-system scenario
 """
 
 from __future__ import annotations
@@ -92,6 +95,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("baseline", help="archived run JSON (the reference)")
     diff.add_argument("candidate", help="archived run JSON to check")
+
+    sv = sub.add_parser(
+        "serve", help="simulated online inference serving on the modeled GPU"
+    )
+    sv.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
+    sv.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
+    sv.add_argument("--dataset", default="CR")
+    sv.add_argument("--arrival", choices=["poisson", "bursty"], default="poisson")
+    sv.add_argument("--rate", type=float, default=None,
+                    help="offered req/s (default: half the system's offline "
+                    "service rate, i.e. 0.5/runtime)")
+    sv.add_argument("--requests", type=int, default=200,
+                    help="trace length (default 200)")
+    sv.add_argument("--job", choices=["full", "targets"], default="full",
+                    help="per-request inference job kind")
+    sv.add_argument("--targets", type=int, default=16,
+                    help="vertices per request for --job targets")
+    sv.add_argument("--max-batch", type=int, default=8)
+    sv.add_argument("--window-us", type=float, default=200.0,
+                    help="batching deadline window in microseconds")
+    sv.add_argument("--streams", type=int, default=2,
+                    help="concurrent CUDA-like streams")
+    sv.add_argument("--queue-depth", type=int, default=64,
+                    help="admission bound on in-system requests")
+    sv.add_argument("--slo-ms", type=float, default=None,
+                    help="p99 SLO for --compare (default 2.5x DGL offline)")
+    sv.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="append the run's obs metrics as JSONL")
+    sv.add_argument("--compare", action="store_true",
+                    help="run the TLPGNN vs DGL-sim vs GNNAdvisor serving "
+                    "scenario under identical traces")
+    sv.add_argument("--smoke", action="store_true",
+                    help="small fast run + conservation self-check (CI)")
     return p
 
 
@@ -301,6 +337,67 @@ def cmd_validate(args: argparse.Namespace, out) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    from .bench.serving import serving_scenario
+    from .frameworks.base import UnsupportedModelError
+    from .obs.metrics import MetricsRegistry, set_registry
+    from .serve import ServableModel, ServeConfig, serve_trace
+
+    config = _config(args)
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        if args.compare:
+            result = serving_scenario(
+                config, model=args.model, slo_ms=args.slo_ms, registry=registry
+            )
+            print(result.render(), file=out)
+            rc = 0
+        else:
+            num_requests = args.requests
+            max_batch, streams = args.max_batch, args.streams
+            if args.smoke:
+                num_requests = min(num_requests, 64)
+                max_batch = min(max_batch, 4)
+                streams = min(streams, 2)
+            dataset = get_dataset(args.dataset, config)
+            spec = config.spec_for(dataset)
+            try:
+                servable = ServableModel(
+                    SYSTEMS[args.system](), args.model, dataset,
+                    feat_dim=config.feat_dim, spec=spec, seed=config.seed,
+                )
+            except UnsupportedModelError as exc:
+                print(f"cannot serve: {exc}", file=out)
+                return 1
+            rate = args.rate or 0.5 / servable.offline_runtime_s
+            cfg = ServeConfig(
+                arrival=args.arrival, rate_hz=rate, num_requests=num_requests,
+                job=args.job, targets_per_request=args.targets,
+                max_batch=max_batch, window_s=args.window_us * 1e-6,
+                num_streams=streams, queue_depth=args.queue_depth,
+                max_concurrent=spec.max_concurrent_kernels, seed=config.seed,
+            )
+            report = serve_trace(servable, cfg)
+            report.publish(registry, system=args.system, dataset=args.dataset)
+            print(report.summary(), file=out)
+            rc = 0
+            if args.smoke:
+                ok = (
+                    report.arrived == report.admitted + report.shed
+                    and report.admitted == report.completed
+                    and report.completed > 0
+                )
+                print(f"serve smoke: {'OK' if ok else 'FAILED'}", file=out)
+                rc = 0 if ok else 1
+        if args.metrics_out:
+            n = registry.dump_jsonl(args.metrics_out)
+            print(f"wrote {n} metrics to {args.metrics_out}", file=out)
+        return rc
+    finally:
+        set_registry(previous)
+
+
 _COMMANDS = {
     "datasets": cmd_datasets,
     "validate": cmd_validate,
@@ -311,6 +408,7 @@ _COMMANDS = {
     "roofline": cmd_roofline,
     "trace": cmd_trace,
     "diff": cmd_diff,
+    "serve": cmd_serve,
 }
 
 

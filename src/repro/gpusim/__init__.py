@@ -13,6 +13,7 @@ from .costmodel import (
     PipelineTiming,
     estimate_kernel,
     estimate_pipeline,
+    stream_demands,
 )
 from .kernel import KernelStats, LaunchConfig, PipelineStats
 from .memory import (
@@ -40,6 +41,7 @@ from .scheduler import (
     software_pool_schedule,
     static_schedule,
 )
+from .streams import MultiStreamSimulator, StreamCompletion, StreamKernel
 from .warpcost import warp_cycles
 
 __all__ = [
@@ -54,6 +56,10 @@ __all__ = [
     "PipelineTiming",
     "estimate_kernel",
     "estimate_pipeline",
+    "stream_demands",
+    "StreamKernel",
+    "StreamCompletion",
+    "MultiStreamSimulator",
     "OccupancyReport",
     "theoretical_occupancy",
     "achieved_occupancy",

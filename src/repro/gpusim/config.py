@@ -33,6 +33,9 @@ class GPUSpec:
     max_registers_per_thread: int = 255
     shared_mem_per_sm: int = 96 * 1024
     dram_bytes: int = 32 * 1024**3
+    #: device limit on concurrently resident kernels (CUDA concurrent-kernel
+    #: execution; V100/A100 allow 128 streams' worth of co-residency)
+    max_concurrent_kernels: int = 128
 
     # ---- memory system -----------------------------------------------------
     sector_bytes: int = 32

@@ -27,7 +27,13 @@ from .kernel import KernelStats, PipelineStats
 from .occupancy import achieved_occupancy
 from .scheduler import ScheduleResult
 
-__all__ = ["KernelTiming", "PipelineTiming", "estimate_kernel", "estimate_pipeline"]
+__all__ = [
+    "KernelTiming",
+    "PipelineTiming",
+    "estimate_kernel",
+    "estimate_pipeline",
+    "stream_demands",
+]
 
 
 @dataclass(frozen=True)
@@ -218,6 +224,24 @@ def estimate_kernel(
             atomic_seconds=atomic_seconds,
         )
     return timing
+
+
+def stream_demands(timing: KernelTiming) -> tuple[float, float]:
+    """Split one kernel's modeled GPU time into (compute, memory) demands
+    for concurrent-stream simulation (:mod:`repro.gpusim.streams`).
+
+    The memory side is what the kernel needs from DRAM bandwidth and the L2
+    atomic unit; the compute side covers the SM makespan and device issue
+    throughput.  A kernel alone completes in the max of the two — exactly
+    its ``gpu_seconds`` — so single-stream serving reduces to the offline
+    model (the serve parity tests pin this).
+    """
+    mem = max(timing.bandwidth_seconds, timing.atomic_seconds)
+    # gpu_seconds = max(sm, issue, bandwidth, atomic): when the binding term
+    # is compute-side it is gpu_seconds itself (sm or issue); otherwise the
+    # compute side contributes its makespan only.
+    comp = timing.gpu_seconds if timing.gpu_seconds > mem else timing.sm_seconds
+    return comp, mem
 
 
 def estimate_pipeline(

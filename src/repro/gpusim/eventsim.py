@@ -45,6 +45,8 @@ def simulate_hardware_scheduler(
     warp_cycles: np.ndarray,
     launch: LaunchConfig,
     spec: GPUSpec,
+    *,
+    slot_share: float = 1.0,
 ) -> EventSimResult:
     """Event-driven run of the hardware work distributor.
 
@@ -52,7 +54,15 @@ def simulate_hardware_scheduler(
     first; a block holds its slot (and its warps' durations contribute to
     occupancy) until its slowest warp finishes, plus the per-block
     scheduling cost.
+
+    ``slot_share`` restricts the kernel to that fraction of the device's
+    (SM, block-slot) servers — the event-level counterpart of the
+    ``slot_share`` parameter of
+    :func:`repro.gpusim.scheduler.hardware_schedule`, used to model
+    co-resident kernels on concurrent streams.
     """
+    if not 0.0 < slot_share <= 1.0:
+        raise ValueError("slot_share must be in (0, 1]")
     warp_cycles = np.asarray(warp_cycles, dtype=np.float64)
     wpb = launch.warps_per_block(spec.threads_per_warp)
     n_warps = warp_cycles.size
@@ -78,6 +88,7 @@ def simulate_hardware_scheduler(
         for slot in range(blocks_per_sm)
         for sm in range(spec.num_sms)
     ]
+    servers = servers[: max(int(len(servers) * slot_share), 1)]
     heapq.heapify(servers)
     sink = get_event_sink()
     if sink is not None:

@@ -114,6 +114,8 @@ def hardware_schedule(
     warp_cycles: np.ndarray,
     launch: LaunchConfig,
     spec: GPUSpec,
+    *,
+    slot_share: float = 1.0,
 ) -> ScheduleResult:
     """Hardware dynamic block scheduling of per-warp costs.
 
@@ -122,7 +124,13 @@ def hardware_schedule(
     intra-block imbalance the paper tunes warps-per-block against).  Blocks
     are then greedily distributed over the device's concurrent block slots,
     paying ``block_schedule_cycles`` each.
+
+    ``slot_share`` models concurrent-kernel residency (CUDA streams): a
+    kernel co-resident with others only gets that fraction of the device's
+    block slots, so its SM-side makespan stretches accordingly.
     """
+    if not 0.0 < slot_share <= 1.0:
+        raise ValueError("slot_share must be in (0, 1]")
     warp_cycles = np.asarray(warp_cycles, dtype=np.float64)
     wpb = launch.warps_per_block(spec.threads_per_warp)
     n_warps = warp_cycles.size
@@ -136,6 +144,7 @@ def hardware_schedule(
         launch.threads_per_block, launch.regs_per_thread, launch.shared_mem_per_block
     )
     slots = max(spec.num_sms * max(blocks_per_sm, 1), 1)
+    slots = max(int(slots * slot_share), 1)
     makespan = greedy_makespan(
         block_cost, slots, per_task_overhead=spec.block_schedule_cycles
     )

@@ -13,6 +13,7 @@ import numpy as np
 from .csr import CSRGraph, from_edge_list
 
 __all__ = [
+    "rng_from",
     "erdos_renyi",
     "power_law",
     "rmat",
@@ -24,10 +25,23 @@ __all__ = [
 ]
 
 
-def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+def rng_from(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Canonical seed → :class:`numpy.random.Generator` coercion.
+
+    Accepts an int seed, an existing generator (passed through, so callers
+    can thread one stream through several draws), or None (OS entropy —
+    never use None on a simulated path; see DESIGN.md "Determinism rules").
+    Shared by every graph generator here and by the serving layer's
+    arrival-trace generators (:mod:`repro.serve.workload`), so one seed
+    convention covers all synthetic randomness in the repo.
+    """
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+#: back-compat alias (pre-serving internal name)
+_rng = rng_from
 
 
 def erdos_renyi(

@@ -1,0 +1,46 @@
+"""Simulated online inference serving for the modeled GPU.
+
+The subsystem the ROADMAP's north star ("serve heavy traffic") needs:
+open-loop request workloads, a dynamic micro-batcher, bounded-queue
+admission control, multi-stream execution on the
+:class:`~repro.gpusim.streams.MultiStreamSimulator`, and latency
+accounting wired into ``repro.obs``.  Entry points:
+
+* :class:`ServableModel` — wrap a framework (TLPGNN / DGL-sim /
+  GNNAdvisor) + model + dataset into a batch planner,
+* :func:`serve_trace` / :class:`InferenceService` — run a request trace
+  through the whole pipeline on the simulated clock,
+* ``repro serve`` (CLI) and :func:`repro.bench.serving.serving_scenario`
+  (the cross-system comparison under identical traces).
+"""
+
+from .accounting import CompletedRequest, LatencyAccountant
+from .adapter import ServableModel, plan_from_timing
+from .admission import AdmissionController
+from .batcher import MicroBatcher
+from .service import InferenceService, ServeConfig, ServeReport, serve_trace
+from .workload import (
+    JOB_KINDS,
+    Request,
+    bursty_trace,
+    make_requests,
+    poisson_trace,
+)
+
+__all__ = [
+    "Request",
+    "JOB_KINDS",
+    "poisson_trace",
+    "bursty_trace",
+    "make_requests",
+    "MicroBatcher",
+    "AdmissionController",
+    "LatencyAccountant",
+    "CompletedRequest",
+    "ServableModel",
+    "plan_from_timing",
+    "ServeConfig",
+    "ServeReport",
+    "InferenceService",
+    "serve_trace",
+]

@@ -1,0 +1,166 @@
+"""Servable adapter: a (system, model, graph) triple the service can plan.
+
+The adapter bridges the offline world (a :class:`~repro.frameworks.base.
+GNNSystem` profiling one convolution) and the online one (the stream
+simulator executing micro-batches):
+
+* it runs the system's pipeline through the existing cost model to get
+  per-kernel :class:`~repro.gpusim.costmodel.KernelTiming`, then
+* converts each pipeline kernel into a :class:`~repro.gpusim.streams.
+  StreamKernel` via :func:`~repro.gpusim.costmodel.stream_demands`, with
+  the framework dispatch cost (DGL-sim's per-kernel Python loop tax)
+  folded into the launch prefix.
+
+The conversion is exact by construction: summing ``launch + alone`` over
+the plan reproduces the offline ``runtime_seconds``, which is what makes
+the streams=1 / batch=1 parity acceptance test hold to the femtosecond.
+
+Batch semantics
+---------------
+* ``job="full"`` — a batch of B requests is one pipeline launch over the
+  full graph with B feature sets stacked: kernel *demands* scale by B,
+  launches are paid once per pipeline kernel (the amortization the
+  batcher exists to exploit).  The B=1 pipeline is profiled once and
+  cached; planning a batch is then O(#kernels).
+* ``job="targets"`` — the batch's target sets are unioned, the union's
+  in-edge subgraph is extracted (same LUT-relabel pattern as
+  :func:`repro.multigpu.distribute_conv`), and the system is profiled on
+  that subgraph, so batch cost grows sublinearly when targets overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..frameworks.base import GNNSystem, UnsupportedModelError
+from ..graph.csr import CSRGraph, from_edge_list
+from ..graph.datasets import Dataset
+from ..gpusim.config import V100, GPUSpec
+from ..gpusim.costmodel import PipelineTiming, stream_demands
+from ..gpusim.streams import StreamKernel
+from .workload import Request
+
+__all__ = ["ServableModel", "plan_from_timing"]
+
+
+def plan_from_timing(
+    timing: PipelineTiming, *, scale: float = 1.0
+) -> list[StreamKernel]:
+    """Convert an offline pipeline timing into an ordered stream plan.
+
+    ``scale`` multiplies the device demands (batch size for full-graph
+    jobs); host-side launch costs are per launch and do not scale.  The
+    per-pipeline framework dispatch cost is spread evenly over the
+    kernels so the plan's serialized total stays ``launch_seconds +
+    scale * gpu_seconds`` exactly.
+    """
+    kernels = timing.kernels
+    if not kernels:
+        return []
+    fw_share = timing.framework_seconds / len(kernels)
+    plan = []
+    for k in kernels:
+        comp, mem = stream_demands(k)
+        plan.append(
+            StreamKernel(
+                name=k.name,
+                comp_seconds=comp * scale,
+                mem_seconds=mem * scale,
+                launch_seconds=k.launch_seconds + fw_share,
+            )
+        )
+    return plan
+
+
+class ServableModel:
+    """One deployable (system, model, dataset) unit behind the service."""
+
+    def __init__(
+        self,
+        system: GNNSystem,
+        model: str,
+        data: Dataset | CSRGraph,
+        *,
+        feat_dim: int = 32,
+        spec: GPUSpec = V100,
+        seed: int = 7,
+    ):
+        model = model.lower()
+        if not system.supports(model):
+            raise UnsupportedModelError(
+                f"{system.name} does not implement {model}"
+            )
+        self.system = system
+        self.model = model
+        self.data = data
+        self.graph = data.graph if isinstance(data, Dataset) else data
+        self.spec = spec
+        self.seed = seed
+        # Same feature initialization as bench.harness.make_features (kept
+        # local: bench imports the serve scenario, so serve must not import
+        # bench back).
+        rng = np.random.default_rng(seed)
+        self.X = rng.standard_normal(
+            (self.graph.num_vertices, feat_dim), dtype=np.float32
+        )
+        self._full_timing: PipelineTiming | None = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.system.name}/{self.model}/{self.graph.name}"
+
+    # ------------------------------------------------------------------
+    @property
+    def offline_timing(self) -> PipelineTiming:
+        """The cached B=1 full-graph pipeline timing (profiled on demand)."""
+        if self._full_timing is None:
+            result = self.system.run(self.model, self.data, self.X, self.spec)
+            self._full_timing = result.report.timing
+        return self._full_timing
+
+    @property
+    def offline_runtime_s(self) -> float:
+        """Offline single-request modeled latency (the parity reference)."""
+        return self.offline_timing.runtime_seconds
+
+    # ------------------------------------------------------------------
+    def plan(self, batch: Sequence[Request]) -> list[StreamKernel]:
+        """The ordered kernel launches that serve this micro-batch."""
+        if not batch:
+            raise ValueError("cannot plan an empty batch")
+        jobs = {r.job for r in batch}
+        if len(jobs) != 1:
+            raise ValueError(f"mixed-job batch: {sorted(jobs)}")
+        job = jobs.pop()
+        if job == "full":
+            return plan_from_timing(self.offline_timing, scale=float(len(batch)))
+        targets = np.unique(
+            np.concatenate([np.asarray(r.targets, dtype=np.int64) for r in batch])
+        )
+        sub, X_sub = self._target_subgraph(targets)
+        result = self.system.run(self.model, sub, X_sub, self.spec)
+        return plan_from_timing(result.report.timing)
+
+    def _target_subgraph(
+        self, targets: np.ndarray
+    ) -> tuple[CSRGraph, np.ndarray]:
+        """In-edge subgraph of ``targets``: every edge u→t with t a target,
+        over the vertex set targets ∪ sources (LUT-relabelled)."""
+        indptr, indices = self.graph.indptr, self.graph.indices
+        starts = indptr[targets]
+        counts = indptr[targets + 1] - starts
+        total = int(counts.sum())
+        # CSR row gather without a Python loop over targets
+        offsets = np.repeat(counts.cumsum() - counts, counts)
+        flat = np.repeat(starts, counts) + (np.arange(total) - offsets)
+        src = indices[flat]
+        dst = np.repeat(targets, counts)
+        vertices = np.unique(np.concatenate([targets, src]))
+        lut = np.full(self.graph.num_vertices, -1, dtype=np.int64)
+        lut[vertices] = np.arange(vertices.size)
+        sub = from_edge_list(
+            lut[src], lut[dst], vertices.size, name=f"{self.graph.name}_serve"
+        )
+        return sub, np.ascontiguousarray(self.X[vertices])

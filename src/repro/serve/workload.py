@@ -1,0 +1,161 @@
+"""Synthetic open-loop request workloads for the serving simulator.
+
+Online inference traffic is *open loop*: clients fire requests on their
+own schedule regardless of how fast the server drains them, which is what
+makes queueing, batching, and admission control matter.  Two arrival
+processes cover the regimes the serving literature cares about:
+
+* :func:`poisson_trace` — memoryless arrivals at a constant offered rate
+  (the M/G/1-style baseline).
+* :func:`bursty_trace` — arrivals clustered into bursts (a modulated
+  Poisson process): within a burst the instantaneous rate is
+  ``burst_factor`` times higher, with idle gaps sized so the *mean*
+  offered rate still equals ``rate_hz``.  Bursts are what expose
+  tail-latency differences between systems whose per-launch overheads
+  differ (TLPGNN vs DGL-sim).
+
+Both are pure functions of ``seed`` (via :func:`repro.graph.generators.
+rng_from`) — no wall clock anywhere, per DESIGN.md's determinism rules.
+
+A :class:`Request` is one inference job: either the full graph (``job=
+"full"``, e.g. recomputing all embeddings) or a vertex set (``job=
+"targets"``, e.g. scoring one user's neighbourhood).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.generators import rng_from
+
+__all__ = [
+    "Request",
+    "poisson_trace",
+    "bursty_trace",
+    "make_requests",
+    "JOB_KINDS",
+]
+
+#: supported per-request job kinds
+JOB_KINDS = ("full", "targets")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request in the open-loop trace."""
+
+    rid: int
+    arrival_s: float
+    #: "full" = whole-graph inference; "targets" = the given vertex set
+    job: str = "full"
+    #: target vertices (sorted, deduplicated) when ``job == "targets"``
+    targets: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.job not in JOB_KINDS:
+            raise ValueError(f"job must be one of {JOB_KINDS}, got {self.job!r}")
+        if self.job == "targets" and not self.targets:
+            raise ValueError("targets job needs a non-empty target set")
+
+    @property
+    def compat_key(self) -> str:
+        """Batching compatibility class: requests coalescible into one
+        kernel launch share a key (same job kind over the same graph)."""
+        return self.job
+
+
+def poisson_trace(
+    rate_hz: float,
+    num_requests: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    start_s: float = 0.0,
+) -> np.ndarray:
+    """Arrival times of a Poisson process at ``rate_hz`` (simulated s)."""
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    rng = rng_from(seed)
+    gaps = rng.exponential(1.0 / rate_hz, size=num_requests)
+    return start_s + np.cumsum(gaps)
+
+
+def bursty_trace(
+    rate_hz: float,
+    num_requests: int,
+    *,
+    burst_factor: float = 8.0,
+    burst_len: int = 16,
+    seed: int | np.random.Generator | None = 0,
+    start_s: float = 0.0,
+) -> np.ndarray:
+    """Burst-modulated arrivals with mean offered rate ``rate_hz``.
+
+    Requests come in runs of ``burst_len`` whose internal gaps are
+    exponential at ``burst_factor * rate_hz``; each new burst is preceded
+    by an idle gap whose rate is chosen so the long-run mean inter-arrival
+    time is exactly ``1 / rate_hz``.
+    """
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    if burst_factor <= 1.0:
+        raise ValueError("burst_factor must be > 1")
+    if burst_len < 1:
+        raise ValueError("burst_len must be >= 1")
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    rng = rng_from(seed)
+    in_burst_rate = burst_factor * rate_hz
+    gaps = rng.exponential(1.0 / in_burst_rate, size=num_requests)
+    # mean gap = 1/(bf*rate) + idle_mean/burst_len == 1/rate
+    idle_mean = burst_len * (burst_factor - 1.0) / in_burst_rate
+    if num_requests:
+        burst_starts = np.arange(num_requests) % burst_len == 0
+        burst_starts[0] = False  # the first burst starts at the trace origin
+        n_idle = int(burst_starts.sum())
+        gaps[burst_starts] += rng.exponential(idle_mean, size=n_idle)
+    return start_s + np.cumsum(gaps)
+
+
+def make_requests(
+    arrivals: np.ndarray,
+    *,
+    job: str = "full",
+    num_vertices: int | None = None,
+    targets_per_request: int = 16,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Request]:
+    """Materialize a trace of arrival times into :class:`Request` objects.
+
+    For ``job="targets"`` each request draws ``targets_per_request``
+    vertices uniformly (deduplicated, so the set may be slightly smaller)
+    from ``num_vertices``.
+    """
+    if job not in JOB_KINDS:
+        raise ValueError(f"job must be one of {JOB_KINDS}, got {job!r}")
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    if job == "full":
+        return [
+            Request(rid=i, arrival_s=float(t), job="full")
+            for i, t in enumerate(arrivals)
+        ]
+    if num_vertices is None or num_vertices < 1:
+        raise ValueError("targets job needs num_vertices")
+    if targets_per_request < 1:
+        raise ValueError("targets_per_request must be >= 1")
+    rng = rng_from(seed)
+    out = []
+    for i, t in enumerate(arrivals):
+        draw = rng.integers(0, num_vertices, size=targets_per_request)
+        out.append(
+            Request(
+                rid=i,
+                arrival_s=float(t),
+                job="targets",
+                targets=tuple(np.unique(draw).tolist()),
+            )
+        )
+    return out

@@ -1,0 +1,60 @@
+"""Regression tests for ``get_dataset`` cache keying (ISSUE 2 satellite).
+
+The seed version keyed ``lru_cache`` on the raw ``(abbr, config)`` pair, so
+numpy scalar knobs (unhashable 0-d arrays, or ``np.int64`` hashing apart
+from equal ints in older numpy) and abbreviation aliases (" cs " vs "CS")
+either crashed the cache or duplicated entries. The key is now canonical.
+"""
+
+import numpy as np
+
+from repro.bench import BenchConfig, get_dataset
+from repro.bench.harness import _cached_dataset, _dataset_key
+
+
+def _fresh_cache():
+    _cached_dataset.cache_clear()
+    return _cached_dataset
+
+
+class TestDatasetKey:
+    def test_alias_normalization(self):
+        cfg = BenchConfig(max_edges=60_000, seed=7)
+        assert _dataset_key(" cs ", cfg) == _dataset_key("CS", cfg)
+        assert _dataset_key("cs", cfg) == _dataset_key("CS", cfg)
+
+    def test_numpy_scalars_coerced(self):
+        a = BenchConfig(max_edges=np.int64(60_000), seed=np.int64(7))
+        b = BenchConfig(max_edges=60_000, seed=7)
+        assert _dataset_key("CS", a) == _dataset_key("CS", b)
+
+    def test_zero_d_array_hashable_after_coercion(self):
+        # a 0-d array is unhashable; the canonical key must swallow it
+        cfg = BenchConfig(max_edges=np.array(60_000), seed=np.array(7))
+        key = _dataset_key("CS", cfg)
+        hash(key)  # must not raise
+        assert key == ("CS", 60_000, 7)
+
+
+class TestGetDatasetCache:
+    def test_aliased_configs_share_one_entry(self):
+        cache = _fresh_cache()
+        cfg_int = BenchConfig(max_edges=60_000, seed=7)
+        cfg_np = BenchConfig(max_edges=np.int64(60_000), seed=np.int64(7))
+        d1 = get_dataset("CS", cfg_int)
+        d2 = get_dataset(" cs ", cfg_np)
+        assert d1 is d2
+        info = cache.cache_info()
+        assert info.misses == 1 and info.hits == 1
+
+    def test_unhashable_config_knobs_do_not_crash(self):
+        _fresh_cache()
+        cfg = BenchConfig(max_edges=np.array(60_000), seed=np.array(7))
+        dataset = get_dataset("CS", cfg)
+        assert dataset.graph.num_edges <= 60_000
+
+    def test_distinct_configs_miss(self):
+        cache = _fresh_cache()
+        get_dataset("CS", BenchConfig(max_edges=60_000, seed=7))
+        get_dataset("CS", BenchConfig(max_edges=60_000, seed=8))
+        assert cache.cache_info().misses == 2

@@ -59,6 +59,21 @@ class TestHardwareEventSim:
             sim.makespan_cycles, rel=0.35
         )
 
+    def test_slot_share_stretches_makespan(self):
+        cycles = np.full(200_000, 50.0)
+        launch = _launch(1)
+        full = simulate_hardware_scheduler(cycles, launch, V100)
+        half = simulate_hardware_scheduler(cycles, launch, V100, slot_share=0.5)
+        assert half.makespan_cycles == pytest.approx(
+            2.0 * full.makespan_cycles, rel=0.05
+        )
+
+    def test_slot_share_validated(self):
+        with pytest.raises(ValueError, match="slot_share"):
+            simulate_hardware_scheduler(
+                np.ones(4), _launch(), V100, slot_share=0.0
+            )
+
 
 class TestPoolEventSim:
     def test_empty(self):

@@ -1,0 +1,83 @@
+"""Serving comparison scenario: the ISSUE 2 acceptance claim.
+
+TLPGNN must sustain a strictly higher offered rate at the fixed p99 SLO
+than DGL-sim on at least two synthetic datasets, with results reported
+through the ``repro.obs`` metrics registry.
+"""
+
+import pytest
+
+from repro.bench import BenchConfig
+from repro.bench.serving import serving_scenario, sustained_rate
+from repro.obs.metrics import MetricsRegistry
+
+CONFIG = BenchConfig(feat_dim=16, max_edges=60_000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    registry = MetricsRegistry()
+    table = serving_scenario(
+        CONFIG, datasets=("CS", "CR"), num_requests=80, registry=registry
+    )
+    return table, registry
+
+
+class TestServingComparison:
+    def test_tlpgnn_sustains_more_than_dgl_on_two_datasets(self, scenario):
+        table, _ = scenario
+        by_cell = {
+            (r["dataset"], r["system"]): r
+            for r in table.records
+            if r.get("supported")
+        }
+        for abbr in ("CS", "CR"):
+            tlpgnn = by_cell[(abbr, "TLPGNN")]["sustained_rps"]
+            dgl = by_cell[(abbr, "DGL")]["sustained_rps"]
+            assert tlpgnn > dgl, f"{abbr}: TLPGNN {tlpgnn} <= DGL {dgl}"
+
+    def test_reported_via_obs_metrics(self, scenario):
+        table, registry = scenario
+        records = registry.snapshot()
+        sustained = {
+            (r["labels"]["dataset"], r["labels"]["system"]): r["value"]
+            for r in records
+            if r["name"] == "serve_sustained_rps"
+        }
+        for abbr in ("CS", "CR"):
+            assert sustained[(abbr, "TLPGNN")] > sustained[(abbr, "DGL")]
+        names = {r["name"] for r in records}
+        assert "serve_latency_p99_ms" in names
+        assert "serve_requests_shed" in names
+
+    def test_sustained_rates_meet_slo(self, scenario):
+        table, _ = scenario
+        for r in table.records:
+            if r.get("supported") and r["sustained_rps"] > 0:
+                assert r["p99_ms"] <= r["slo_ms"]
+
+    def test_table_renders(self, scenario):
+        table, _ = scenario
+        text = table.render()
+        assert "TLPGNN" in text and "DGL" in text
+        assert len(table.rows) == 6  # 2 datasets x 3 systems
+
+
+class TestSustainedRate:
+    def test_zero_when_even_lowest_rung_fails(self):
+        from repro.frameworks import SYSTEMS
+        from repro.bench import get_dataset
+        from repro.serve import ServableModel, ServeConfig
+
+        dataset = get_dataset("CS", CONFIG)
+        model = ServableModel(
+            SYSTEMS["DGL"](), "gcn", dataset,
+            feat_dim=CONFIG.feat_dim, spec=CONFIG.spec_for(dataset),
+            seed=CONFIG.seed,
+        )
+        base = ServeConfig(num_requests=40, seed=7)
+        # impossible SLO: nothing sustains
+        rate, report = sustained_rate(
+            model, [10.0, 100.0], slo_ms=1e-9, base_cfg=base
+        )
+        assert rate == 0.0 and report is None

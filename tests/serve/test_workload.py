@@ -1,0 +1,91 @@
+"""Arrival traces: determinism, rate calibration, request materialization."""
+
+import numpy as np
+import pytest
+
+from repro.serve.workload import (
+    Request,
+    bursty_trace,
+    make_requests,
+    poisson_trace,
+)
+
+
+class TestPoisson:
+    def test_deterministic(self):
+        a = poisson_trace(1000.0, 50, seed=3)
+        b = poisson_trace(1000.0, 50, seed=3)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, poisson_trace(1000.0, 50, seed=4))
+
+    def test_mean_rate(self):
+        arrivals = poisson_trace(500.0, 20_000, seed=0)
+        measured = len(arrivals) / arrivals[-1]
+        assert measured == pytest.approx(500.0, rel=0.05)
+
+    def test_monotone_and_positive(self):
+        arrivals = poisson_trace(100.0, 200, seed=1)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals[0] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate_hz"):
+            poisson_trace(0.0, 10)
+        with pytest.raises(ValueError, match="num_requests"):
+            poisson_trace(1.0, -1)
+
+
+class TestBursty:
+    def test_deterministic(self):
+        a = bursty_trace(1000.0, 64, seed=3)
+        b = bursty_trace(1000.0, 64, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mean_rate_preserved(self):
+        arrivals = bursty_trace(500.0, 40_000, seed=0, burst_len=16)
+        measured = len(arrivals) / arrivals[-1]
+        assert measured == pytest.approx(500.0, rel=0.1)
+
+    def test_burstier_than_poisson(self):
+        # coefficient of variation of inter-arrival gaps: ~1 for Poisson,
+        # well above 1 for the modulated process
+        gaps = np.diff(bursty_trace(1000.0, 20_000, seed=0, burst_factor=10.0))
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="burst_factor"):
+            bursty_trace(1.0, 10, burst_factor=1.0)
+        with pytest.raises(ValueError, match="burst_len"):
+            bursty_trace(1.0, 10, burst_len=0)
+
+
+class TestRequests:
+    def test_full_job(self):
+        reqs = make_requests(poisson_trace(100.0, 10, seed=0))
+        assert [r.rid for r in reqs] == list(range(10))
+        assert all(r.job == "full" and r.targets is None for r in reqs)
+
+    def test_targets_job_deterministic(self):
+        t = poisson_trace(100.0, 8, seed=0)
+        a = make_requests(t, job="targets", num_vertices=100, seed=5)
+        b = make_requests(t, job="targets", num_vertices=100, seed=5)
+        assert a == b
+        for r in a:
+            assert r.targets == tuple(sorted(set(r.targets)))
+            assert all(0 <= v < 100 for v in r.targets)
+
+    def test_targets_job_needs_vertices(self):
+        with pytest.raises(ValueError, match="num_vertices"):
+            make_requests(np.array([0.1]), job="targets")
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError, match="job"):
+            Request(rid=0, arrival_s=0.0, job="nope")
+        with pytest.raises(ValueError, match="non-empty"):
+            Request(rid=0, arrival_s=0.0, job="targets", targets=())
+
+    def test_compat_key_by_job(self):
+        full = Request(rid=0, arrival_s=0.0)
+        tgt = Request(rid=1, arrival_s=0.0, job="targets", targets=(3,))
+        assert full.compat_key != tgt.compat_key

@@ -161,6 +161,44 @@ class TestTraceAndDiff:
         assert "error:" in out
 
 
+class TestServe:
+    def test_smoke_self_check(self):
+        code, out = run_cli(*ARGS, "serve", "--smoke")
+        assert code == 0
+        assert "serve smoke: OK" in out
+        assert "admission" in out and "latency ms" in out
+
+    def test_serve_report_fields(self):
+        code, out = run_cli(*ARGS, "serve", "--system", "DGL",
+                            "--dataset", "CR", "--requests", "40")
+        assert code == 0
+        assert "serve DGL/gcn/" in out
+        assert "arrived=40" in out
+        assert "offline" in out  # run_system reference line
+
+    def test_serve_metrics_out(self, tmp_path):
+        target = tmp_path / "metrics.jsonl"
+        code, out = run_cli(*ARGS, "serve", "--smoke",
+                            "--metrics-out", str(target))
+        assert code == 0
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        names = {r["name"] for r in records}
+        assert "serve_latency_p99_ms" in names
+        assert "serve_requests_shed" in names
+
+    def test_serve_unsupported_cell(self):
+        code, out = run_cli(*ARGS, "serve", "--system", "GNNAdvisor",
+                            "--model", "gat", "--requests", "10")
+        assert code == 1
+        assert "cannot serve" in out
+
+    def test_serve_registry_uninstalled_afterwards(self):
+        from repro.obs.metrics import get_registry
+
+        run_cli(*ARGS, "serve", "--smoke")
+        assert get_registry() is None
+
+
 class TestValidateAndReport:
     def test_validate_selected(self):
         code, out = run_cli(*ARGS, "validate", "--only", "table5-dashes")

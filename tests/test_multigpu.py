@@ -90,3 +90,65 @@ class TestAccounting:
         assert max(s.local_graph.num_edges for s in four.shards) < (
             one.shards[0].local_graph.num_edges
         )
+
+
+class TestHaloExchange:
+    """ISSUE 2 satellite: pin the halo-exchange accounting contract."""
+
+    @pytest.mark.parametrize("feat_dim", [8, 16, 48])
+    def test_one_feature_row_per_halo_vertex(self, rng, feat_dim):
+        # exchange volume is exactly one float32 feature row per halo
+        # vertex per device — nothing per-edge, nothing double-counted
+        g = erdos_renyi(200, 1400, seed=2)
+        X = rng.standard_normal((200, feat_dim), dtype=np.float32)
+        res = distribute_conv(g, X, 3)
+        assert res.halo_bytes == sum(s.num_halo for s in res.shards) * feat_dim * 4
+
+    def test_halo_sets_match_partition_cut(self, setup):
+        # recompute each device's halo set independently from the
+        # partition assignment and the global edge list
+        g, X = setup
+        part = partition_kway(g, 4, seed=3)
+        res = distribute_conv(g, X, 4, partition=part)
+        src, dst = g.edge_list()
+        for shard in res.shards:
+            inbound = src[part.assignment[dst] == shard.device]
+            expected = np.unique(
+                inbound[part.assignment[inbound] != shard.device]
+            )
+            np.testing.assert_array_equal(shard.halo_vertices, expected)
+        expected_bytes = sum(
+            np.unique(
+                src[
+                    (part.assignment[dst] == dev)
+                    & (part.assignment[src] != dev)
+                ]
+            ).size
+            for dev in range(4)
+        ) * X.shape[1] * 4
+        assert res.halo_bytes == expected_bytes
+
+    def test_halo_disjoint_from_local(self, setup):
+        g, X = setup
+        res = distribute_conv(g, X, 4)
+        for shard in res.shards:
+            assert not np.intersect1d(
+                shard.halo_vertices, shard.local_vertices
+            ).size
+
+    def test_k1_equals_single_gpu_kernel(self, setup):
+        # one device: same output and same device time as running the
+        # TLPGNN kernel directly on the full graph
+        from repro.gpusim.config import V100
+        from repro.kernels.tlpgnn import TLPGNNKernel
+
+        g, X = setup
+        res = distribute_conv(g, X, 1)
+        direct = TLPGNNKernel().execute(
+            ConvWorkload(graph=g, X=X, reduce="sum"), V100
+        )
+        np.testing.assert_allclose(
+            res.output, direct.output, rtol=1e-5, atol=1e-6
+        )
+        assert res.conv_seconds == direct.timing.gpu_seconds
+        assert res.total_seconds == res.conv_seconds  # no exchange term
