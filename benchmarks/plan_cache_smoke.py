@@ -1,0 +1,70 @@
+"""Plan-cache smoke check (CI): two identical in-process serve passes.
+
+The first ``repro serve --smoke`` pass lowers, executes, and analyzes the
+offline pipeline (a plan-cache miss); the second pass must hit the
+process-wide :class:`repro.plan.PlanCache`, report ``plan_cache_hit > 0``
+through the shared metrics registry, and finish in less host wall time.
+
+Run as a script: ``PYTHONPATH=src python benchmarks/plan_cache_smoke.py``.
+Exits non-zero when any of the three assertions fails.
+"""
+
+import io
+import sys
+import time
+
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.plan import get_plan_cache
+
+ARGS = [
+    "--max-edges", "200000",
+    "serve", "--smoke",
+    "--system", "TLPGNN", "--model", "gcn", "--dataset", "CR",
+]
+
+
+def timed_pass(label: str) -> float:
+    out = io.StringIO()
+    t0 = time.perf_counter()
+    rc = main(list(ARGS), out=out)
+    elapsed = time.perf_counter() - t0
+    print(f"{label}: rc={rc}, {elapsed * 1e3:.1f} ms host wall time")
+    if rc != 0:
+        print(out.getvalue())
+        sys.exit(f"{label} serve pass failed (rc={rc})")
+    return elapsed
+
+
+def run() -> None:
+    cache = get_plan_cache()
+    if cache is None:
+        sys.exit("plan cache is disabled; smoke check needs it on")
+    cache.clear()
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        t_cold = timed_pass("cold pass")
+        t_warm = timed_pass("warm pass")
+    finally:
+        set_registry(previous)
+
+    hits = sum(
+        rec["value"]
+        for rec in registry.snapshot()
+        if rec["name"] == "plan_cache_hit"
+    )
+    print(f"plan_cache_hit total: {hits}")
+    print(f"cache state: {cache.snapshot()}")
+    if hits <= 0:
+        sys.exit("warm pass reported no plan_cache_hit")
+    if t_warm >= t_cold:
+        sys.exit(
+            f"warm pass not faster: cold {t_cold * 1e3:.1f} ms "
+            f"vs warm {t_warm * 1e3:.1f} ms"
+        )
+    print("plan-cache smoke OK")
+
+
+if __name__ == "__main__":
+    run()

@@ -67,9 +67,18 @@ def _cached_dataset(abbr: str, max_edges: int, seed: int) -> Dataset:
     return load_dataset(abbr, max_edges=max_edges, seed=seed)
 
 
+#: content-level dedup: different (max_edges, seed) configs that happen to
+#: produce byte-identical graphs share one Dataset object, so downstream
+#: id()/fingerprint-keyed caches (plan cache included) see one canonical
+#: instance per distinct graph.
+_CANONICAL: dict[tuple[str, str], Dataset] = {}
+
+
 def get_dataset(abbr: str, config: BenchConfig) -> Dataset:
     """Load (and memoize) a dataset under this config's scaling."""
-    return _cached_dataset(*_dataset_key(abbr, config))
+    ds = _cached_dataset(*_dataset_key(abbr, config))
+    key = (str(abbr).strip().upper(), ds.graph.fingerprint())
+    return _CANONICAL.setdefault(key, ds)
 
 
 def make_features(n: int, feat_dim: int, *, seed: int = 0) -> np.ndarray:

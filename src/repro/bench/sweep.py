@@ -12,10 +12,28 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..frameworks import SYSTEMS
+from ..plan import get_plan_cache
 from .harness import BenchConfig, get_dataset, make_features, run_system
 from .report import TableResult, fmt_ms
 
 __all__ = ["sweep_feature_dims", "sweep_scales", "sweep_grid"]
+
+
+class _CacheCounts:
+    """Delta of plan-cache hits/misses over one sweep (for the summary)."""
+
+    def __init__(self) -> None:
+        cache = get_plan_cache()
+        self._before = cache.snapshot() if cache is not None else None
+
+    def note(self) -> str:
+        cache = get_plan_cache()
+        if cache is None or self._before is None:
+            return "plan cache: disabled"
+        after = cache.snapshot()
+        hits = after["hits"] - self._before["hits"]
+        misses = after["misses"] - self._before["misses"]
+        return f"plan cache: {hits} hit(s), {misses} miss(es)"
 
 
 def sweep_feature_dims(
@@ -28,6 +46,7 @@ def sweep_feature_dims(
 ) -> TableResult:
     """Runtime of each system as the feature dimension grows."""
     base = config or BenchConfig()
+    counts = _CacheCounts()
     headers = ["System"] + [str(f) for f in feat_dims]
     rows, records = [], []
     for name in systems:
@@ -51,6 +70,7 @@ def sweep_feature_dims(
         headers=headers,
         rows=rows,
         records=records,
+        notes=counts.note(),
     )
 
 
@@ -68,6 +88,7 @@ def sweep_scales(
     scale-invariant — this sweep is the self-check for that property.
     """
     base = config or BenchConfig()
+    counts = _CacheCounts()
     headers = ["max_edges", "scale", "|V|", "|E|", "runtime_ms"]
     rows, records = [], []
     for cap in max_edges:
@@ -96,6 +117,7 @@ def sweep_scales(
         headers=headers,
         rows=rows,
         records=records,
+        notes=counts.note(),
     )
 
 
@@ -108,6 +130,7 @@ def sweep_grid(
 ) -> TableResult:
     """model × dataset runtime grid for one system."""
     cfg = config or BenchConfig()
+    counts = _CacheCounts()
     headers = ["Model"] + list(datasets)
     rows, records = [], []
     for model in models:
@@ -128,4 +151,5 @@ def sweep_grid(
         headers=headers,
         rows=rows,
         records=records,
+        notes=counts.note(),
     )

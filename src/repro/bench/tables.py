@@ -13,8 +13,7 @@ from ..kernels import (
     three_kernel_gat,
 )
 from ..models import build_conv
-from ..gpusim.costmodel import estimate_kernel, estimate_pipeline
-from ..gpusim.occupancy import theoretical_occupancy
+from ..plan import cost_plan, time_parts
 from .harness import BenchConfig, get_dataset, make_features, run_system
 from .report import TableResult, fmt_mb, fmt_ms, fmt_pct
 
@@ -119,14 +118,8 @@ def table3(config: BenchConfig | None = None) -> TableResult:
 
     workload = build_conv("gat", ds.graph, X)
     _out3, pipe3, parts3 = three_kernel_gat(workload, spec)
-    timings3 = [
-        estimate_kernel(
-            s, sc, spec,
-            theoretical_occupancy=theoretical_occupancy(s.launch, spec).theoretical,
-        )
-        for s, sc in parts3
-    ]
-    three = estimate_pipeline(pipe3, timings3, spec)
+    timings3 = time_parts(parts3, spec)
+    three = cost_plan(pipe3, timings3, spec)
 
     tlp = run_system(TLPGNNEngine(), "gat", ds, config, X=X)
     assert tlp is not None

@@ -16,6 +16,9 @@ diff                compare two archived profile runs metric-by-metric;
 serve               simulated online inference serving (open-loop trace,
                     dynamic batching, admission control, CUDA-like
                     streams); --compare runs the cross-system scenario
+plan                lower one (dataset, model) cell and print each
+                    system's ExecutionPlan (kernel list, balance choice,
+                    fusion structure, content fingerprint)
 """
 
 from __future__ import annotations
@@ -26,8 +29,6 @@ import sys
 from .bench import ALL_EXPERIMENTS, BenchConfig, get_dataset, make_features, run_system
 from .frameworks import SYSTEMS
 from .gpusim import roofline
-from .gpusim.costmodel import estimate_kernel
-from .gpusim.occupancy import theoretical_occupancy
 from .obs import ProfileArchive, Tracer, diff_runs, load_run, set_tracer
 
 __all__ = ["main", "build_parser"]
@@ -128,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
                     "scenario under identical traces")
     sv.add_argument("--smoke", action="store_true",
                     help="small fast run + conservation self-check (CI)")
+
+    pl = sub.add_parser(
+        "plan", help="lower a cell and print each system's execution plan"
+    )
+    pl.add_argument("dataset", help="dataset abbreviation (e.g. CR)")
+    pl.add_argument("model", choices=["gcn", "gin", "sage", "gat"])
+    pl.add_argument("--system", choices=sorted(SYSTEMS), default=None,
+                    help="limit to one system (default: all four)")
     return p
 
 
@@ -148,12 +157,12 @@ def cmd_datasets(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _archive_report(report, args, config, spec, out) -> None:
+def _archive_report(report, args, config, spec, out, *, graph=None) -> None:
     """Record a profile into ``--archive DIR`` (shared by run/trace)."""
     archive = ProfileArchive(args.archive)
     path = archive.record(
         report, seed=config.seed, feat_dim=config.feat_dim,
-        max_edges=config.max_edges, spec=spec,
+        max_edges=config.max_edges, spec=spec, graph=graph,
     )
     print(f"archived profile -> {path}", file=out)
 
@@ -171,7 +180,10 @@ def cmd_run(args: argparse.Namespace, out) -> int:
         return 1
     print(res.report.summary(), file=out)
     if args.archive:
-        _archive_report(res.report, args, config, config.spec_for(dataset), out)
+        _archive_report(
+            res.report, args, config, config.spec_for(dataset), out,
+            graph=dataset.graph,
+        )
     return 0
 
 
@@ -233,7 +245,7 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
         file=out,
     )
     if args.archive:
-        _archive_report(res.report, args, config, spec, out)
+        _archive_report(res.report, args, config, spec, out, graph=dataset.graph)
     return 0
 
 
@@ -297,8 +309,9 @@ def cmd_roofline(args: argparse.Namespace, out) -> int:
             None,
         )
         if timing is None:
-            occ = theoretical_occupancy(stats.launch, spec).theoretical
-            timing = estimate_kernel(stats, sched, spec, theoretical_occupancy=occ)
+            from .plan import time_parts
+
+            timing = time_parts([(stats, sched)], spec)[0]
         print("  " + roofline(stats, timing, spec).describe(), file=out)
     return 0
 
@@ -340,11 +353,16 @@ def cmd_validate(args: argparse.Namespace, out) -> int:
 def cmd_serve(args: argparse.Namespace, out) -> int:
     from .bench.serving import serving_scenario
     from .frameworks.base import UnsupportedModelError
-    from .obs.metrics import MetricsRegistry, set_registry
+    from .obs.metrics import MetricsRegistry, get_registry, set_registry
     from .serve import ServableModel, ServeConfig, serve_trace
 
     config = _config(args)
-    registry = MetricsRegistry()
+    # reuse an already-installed registry so repeated in-process serves
+    # accumulate counters (plan_cache_hit across warm passes included);
+    # "is None" rather than "or": an empty registry is falsy (len 0)
+    registry = get_registry()
+    if registry is None:
+        registry = MetricsRegistry()
     previous = set_registry(registry)
     try:
         if args.compare:
@@ -398,6 +416,33 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         set_registry(previous)
 
 
+def cmd_plan(args: argparse.Namespace, out) -> int:
+    """Lower one cell per system and print the plan (no execution)."""
+    from .frameworks.base import CapacityError, UnsupportedModelError
+
+    config = _config(args)
+    dataset, X = _cell(args, config)
+    spec = config.spec_for(dataset)
+    names = [args.system] if args.system else sorted(SYSTEMS)
+    print(
+        f"{args.model.upper()} on {args.dataset} "
+        f"(|V|={dataset.graph.num_vertices:,}, "
+        f"|E|={dataset.graph.num_edges:,}):\n",
+        file=out,
+    )
+    lowered = 0
+    for name in names:
+        try:
+            plan = SYSTEMS[name]().lower(args.model, dataset, X, spec)
+        except (UnsupportedModelError, CapacityError) as exc:
+            print(f"{name}: - ({type(exc).__name__}: {exc})\n", file=out)
+            continue
+        print(plan.describe(), file=out)
+        print(file=out)
+        lowered += 1
+    return 0 if lowered else 1
+
+
 _COMMANDS = {
     "datasets": cmd_datasets,
     "validate": cmd_validate,
@@ -409,6 +454,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "diff": cmd_diff,
     "serve": cmd_serve,
+    "plan": cmd_plan,
 }
 
 

@@ -1,28 +1,44 @@
 """Framework base: what a "GNN computation system" is in this reproduction.
 
-A system takes a model name + graph + input features, runs the graph
-convolution its own way (its kernel pipeline), and returns the output plus
-a :class:`~repro.gpusim.profiler.ProfileReport` with modeled timing and
-counters.  All systems must produce numerically identical outputs — the
-test suite enforces it — so Table 5 compares *how*, not *what*.
+A system takes a model name + graph + input features, **lowers** the cell
+to an :class:`~repro.plan.ExecutionPlan` (its own kernel pipeline), then
+the shared executor/analyzer of :mod:`repro.plan` runs the plan and costs
+it, returning the output plus a :class:`~repro.gpusim.profiler.
+ProfileReport` with modeled timing and counters.  All systems must
+produce numerically identical outputs — the test suite enforces it — so
+Table 5 compares *how*, not *what*.
+
+Systems are pure lowering rules: subclasses implement ``_lower`` (and
+``plan_knobs`` for their cache-key knobs); ``run()`` is the shared
+three-stage driver with the :class:`~repro.plan.PlanCache` in front.
+Cache bypass rules: an explicit ``rng`` (caller-controlled randomness)
+or an installed tracer (spans must observe real execution) always runs
+the full pipeline.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..gpusim.config import V100, GPUSpec
-from ..gpusim.costmodel import KernelTiming, estimate_kernel, estimate_pipeline
-from ..gpusim.kernel import KernelStats, PipelineStats
-from ..gpusim.occupancy import theoretical_occupancy
 from ..gpusim.profiler import ProfileReport
-from ..gpusim.scheduler import ScheduleResult
 from ..graph.csr import CSRGraph
 from ..graph.datasets import Dataset
-from ..obs.tracer import span
+from ..obs.tracer import get_tracer, span
+from ..plan import (
+    ExecutionPlan,
+    PlanCacheEntry,
+    PlanInfo,
+    analyze_plan,
+    cost_plan,
+    execute_plan,
+    get_plan_cache,
+    plan_fingerprint,
+    time_parts,
+)
 
 __all__ = ["GNNSystem", "SystemResult", "UnsupportedModelError", "CapacityError"]
 
@@ -42,6 +58,8 @@ class SystemResult:
 
     output: np.ndarray
     report: ProfileReport
+    #: summary of the lowered plan (``plan.cached`` marks warm-cache hits)
+    plan: PlanInfo | None = None
 
     @property
     def runtime_ms(self) -> float:
@@ -61,7 +79,7 @@ class GNNSystem(ABC):
         """Whether the system implements this model's convolution."""
 
     @abstractmethod
-    def _pipeline(
+    def _lower(
         self,
         model: str,
         graph: CSRGraph,
@@ -70,8 +88,61 @@ class GNNSystem(ABC):
         *,
         dataset: Dataset | None,
         rng: np.random.Generator,
-    ) -> tuple[np.ndarray, PipelineStats, list[tuple[KernelStats, ScheduleResult]]]:
-        """Build & run the system's kernel pipeline for the workload."""
+    ) -> ExecutionPlan:
+        """Lower the cell to this system's kernel pipeline (compile stage)."""
+
+    def plan_knobs(self) -> dict:
+        """Every knob that changes lowering or costing — part of the plan
+        cache key.  Subclasses extend with their own configuration."""
+        return {"dispatch_seconds": self.dispatch_seconds}
+
+    # ------------------------------------------------------------------
+    def _prepare(
+        self, model: str, data: CSRGraph | Dataset
+    ) -> tuple[str, CSRGraph, Dataset | None]:
+        model = model.lower()
+        if not self.supports(model):
+            raise UnsupportedModelError(f"{self.name} does not implement {model}")
+        dataset = data if isinstance(data, Dataset) else None
+        graph = data.graph if dataset is not None else data
+        self.check_capacity(graph, dataset)
+        return model, graph, dataset
+
+    def _fingerprint(
+        self,
+        model: str,
+        graph: CSRGraph,
+        X: np.ndarray,
+        spec: GPUSpec,
+        dataset: Dataset | None,
+    ) -> str:
+        return plan_fingerprint(
+            system=self.name,
+            model=model,
+            graph=graph,
+            X=X,
+            spec=spec,
+            knobs=self.plan_knobs(),
+            dataset=dataset,
+        )
+
+    def lower(
+        self,
+        model: str,
+        data: CSRGraph | Dataset,
+        X: np.ndarray,
+        spec: GPUSpec = V100,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> ExecutionPlan:
+        """Compile stage only: lower the cell without executing or costing."""
+        model, graph, dataset = self._prepare(model, data)
+        plan = self._lower(
+            model, graph, X, spec,
+            dataset=dataset, rng=rng or np.random.default_rng(0),
+        )
+        plan.fingerprint = self._fingerprint(model, graph, X, spec, dataset)
+        return plan
 
     # ------------------------------------------------------------------
     def run(
@@ -84,35 +155,45 @@ class GNNSystem(ABC):
         rng: np.random.Generator | None = None,
     ) -> SystemResult:
         """Execute the model's graph convolution and profile it."""
-        model = model.lower()
-        if not self.supports(model):
-            raise UnsupportedModelError(f"{self.name} does not implement {model}")
-        dataset = data if isinstance(data, Dataset) else None
-        graph = data.graph if dataset is not None else data
-        self.check_capacity(graph, dataset)
+        model, graph, dataset = self._prepare(model, data)
+        cache = get_plan_cache()
+        # an explicit rng makes the cell content-unaddressable (the key
+        # cannot capture caller-controlled randomness); a tracer demands
+        # real execution, but the fingerprint itself stays valid
+        key = None
+        if rng is None:
+            key = self._fingerprint(model, graph, X, spec, dataset)
+        cacheable = key is not None and cache is not None and get_tracer() is None
+        if cacheable:
+            entry = cache.get(key, system=self.name, model=model)
+            if entry is not None:
+                report = ProfileReport(
+                    system=self.name,
+                    model=model,
+                    dataset=graph.name,
+                    timing=entry.timing,
+                    stats=entry.stats,
+                )
+                report.publish()
+                return SystemResult(
+                    output=entry.output.copy(),
+                    report=report,
+                    plan=replace(entry.info, cached=True),
+                )
+
         rng = rng or np.random.default_rng(0)
         with span(f"{self.name}.pipeline", model=model, graph=graph.name) as sp:
-            output, pipeline, parts = self._pipeline(
-                model, graph, X, spec, dataset=dataset, rng=rng
-            )
+            plan = self._lower(model, graph, X, spec, dataset=dataset, rng=rng)
+            plan.fingerprint = key
+            output = execute_plan(plan)
             if sp is not None:
-                sp.set(num_kernels=pipeline.num_kernels)
+                sp.set(num_kernels=plan.num_kernels)
         with span(f"{self.name}.costmodel", model=model) as sp:
-            timings: list[KernelTiming] = []
-            for stats, sched in parts:
-                occ = theoretical_occupancy(stats.launch, spec).theoretical
-                timings.append(
-                    estimate_kernel(stats, sched, spec, theoretical_occupancy=occ)
-                )
-            if self.dispatch_seconds is not None:
-                eff_spec = spec.with_overrides(
-                    framework_dispatch_seconds=self.dispatch_seconds
-                )
-                timing = estimate_pipeline(
-                    pipeline, timings, eff_spec, framework_dispatch=True
-                )
-            else:
-                timing = estimate_pipeline(pipeline, timings, spec)
+            pipeline, parts = analyze_plan(plan, spec)
+            timings = time_parts(parts, spec)
+            timing = cost_plan(
+                pipeline, timings, spec, dispatch_seconds=self.dispatch_seconds
+            )
             if sp is not None:
                 sp.add_modeled(timing.runtime_seconds)
         report = ProfileReport(
@@ -123,7 +204,17 @@ class GNNSystem(ABC):
             stats=pipeline,
         )
         report.publish()
-        return SystemResult(output=output, report=report)
+        if cacheable:
+            cache.put(
+                key,
+                PlanCacheEntry(
+                    output=output.copy(),
+                    stats=pipeline,
+                    timing=timing,
+                    info=plan.info(),
+                ),
+            )
+        return SystemResult(output=output, report=report, plan=plan.info())
 
     def check_capacity(self, graph: CSRGraph, dataset: Dataset | None) -> None:
         """Raise :class:`CapacityError` if the workload exceeds the system's

@@ -14,15 +14,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..gpusim.config import GPUSpec
-from ..gpusim.kernel import KernelStats, PipelineStats
+from ..gpusim.kernel import KernelStats
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
 from ..graph.csr import CSRGraph
 from ..kernels.base import feature_row_sectors, index_span_sectors
 from ..kernels.fusion import streaming_kernel_stats
 from ..models import build_conv
-from ..models.convspec import reference_aggregate
 from ..obs.tracer import span
+from ..plan import ComputeStep, ExecutionPlan, KernelOp
 from .base import GNNSystem
 
 __all__ = ["DGLSystem"]
@@ -43,6 +43,12 @@ class DGLSystem(GNNSystem):
 
     def supports(self, model: str) -> bool:
         return model in DGL_KERNEL_COUNTS
+
+    def plan_knobs(self) -> dict:
+        return {
+            **super().plan_knobs(),
+            "spmm_regular_boost": self.spmm_regular_boost,
+        }
 
     # ------------------------------------------------------------------
     def _spmm(
@@ -147,71 +153,102 @@ class DGLSystem(GNNSystem):
             )
 
     # ------------------------------------------------------------------
-    def _pipeline(self, model, graph, X, spec, *, dataset, rng):
+    def _lower(self, model, graph, X, spec, *, dataset, rng):
         n, E, Fdim = graph.num_vertices, graph.num_edges, X.shape[1]
         nf = n * Fdim
         att_sec = -(-4 * n // 32)
         workload = build_conv(model, graph, X, rng=rng)
-        with span("kernel.run", kernel=f"dgl_{model}_pipeline"):
-            output = reference_aggregate(workload)
 
-        k: list[tuple[KernelStats, ScheduleResult]] = []
-        ew = self._elementwise
+        ops: list[KernelOp] = []
+
+        def ew(name, items, *, reads=2.0, writes=1.0, gather=None):
+            ops.append(
+                KernelOp(
+                    name=name,
+                    kind="modeled",
+                    analyze_fn=lambda s, _n=name, _i=items, _r=reads,
+                    _w=writes, _g=gather: self._elementwise(
+                        _n, _i, s, reads=_r, writes=_w, gather=_g
+                    ),
+                )
+            )
+
+        def spmm(*, weighted, coo_atomic=False):
+            ops.append(
+                KernelOp(
+                    name="spmm_coo_atomic" if coo_atomic else "spmm",
+                    kind="modeled",
+                    analyze_fn=lambda s, _w=weighted, _c=coo_atomic: self._spmm(
+                        graph, Fdim, s, weighted=_w, coo_atomic=_c
+                    ),
+                    balance="row-parallel" if not coo_atomic else "coo-scatter",
+                )
+            )
+
         if model == "gcn":
-            k.append(ew("degs", n, spec, reads=2, writes=1))
-            k.append(ew("u_mul_norm", nf, spec, reads=2, writes=1))
-            k.append(ew("csr_check", E, spec, reads=1, writes=1))
-            k.append(self._spmm(graph, Fdim, spec, weighted=False))
-            k.append(ew("v_mul_norm", nf, spec, reads=2, writes=1))
-            k.append(ew("add_self", nf, spec, reads=2, writes=1))
+            ew("degs", n, reads=2, writes=1)
+            ew("u_mul_norm", nf, reads=2, writes=1)
+            ew("csr_check", E, reads=1, writes=1)
+            spmm(weighted=False)
+            ew("v_mul_norm", nf, reads=2, writes=1)
+            ew("add_self", nf, reads=2, writes=1)
         elif model == "gin":
-            k.append(ew("degs", n, spec, reads=2, writes=1))
-            k.append(ew("copy_u", nf, spec, reads=1, writes=1))
-            k.append(ew("csr_check", E, spec, reads=1, writes=1))
-            k.append(self._spmm(graph, Fdim, spec, weighted=False))
-            k.append(ew("eps_scale", nf, spec, reads=1, writes=1))
-            k.append(ew("add_self", nf, spec, reads=2, writes=1))
-            k.append(ew("fill", nf, spec, reads=0.5, writes=1))
-            k.append(ew("cast", nf, spec, reads=1, writes=1))
+            ew("degs", n, reads=2, writes=1)
+            ew("copy_u", nf, reads=1, writes=1)
+            ew("csr_check", E, reads=1, writes=1)
+            spmm(weighted=False)
+            ew("eps_scale", nf, reads=1, writes=1)
+            ew("add_self", nf, reads=2, writes=1)
+            ew("fill", nf, reads=0.5, writes=1)
+            ew("cast", nf, reads=1, writes=1)
         elif model == "sage":
-            k.append(ew("degs", n, spec, reads=2, writes=1))
-            k.append(ew("copy_u", nf, spec, reads=1, writes=1))
-            k.append(ew("csr_check", E, spec, reads=1, writes=1))
-            k.append(self._spmm(graph, Fdim, spec, weighted=False))
-            k.append(ew("count", n, spec, reads=1, writes=1))
-            k.append(ew("clamp", n, spec, reads=1, writes=1))
-            k.append(ew("div_deg", nf, spec, reads=2, writes=1))
-            k.append(ew("fill", nf, spec, reads=0.5, writes=1))
-            k.append(ew("concat_prep", nf, spec, reads=1, writes=1))
-            k.append(ew("cast", nf, spec, reads=1, writes=1))
+            ew("degs", n, reads=2, writes=1)
+            ew("copy_u", nf, reads=1, writes=1)
+            ew("csr_check", E, reads=1, writes=1)
+            spmm(weighted=False)
+            ew("count", n, reads=1, writes=1)
+            ew("clamp", n, reads=1, writes=1)
+            ew("div_deg", nf, reads=2, writes=1)
+            ew("fill", nf, reads=0.5, writes=1)
+            ew("concat_prep", nf, reads=1, writes=1)
+            ew("cast", nf, reads=1, writes=1)
         elif model == "gat":
-            k.append(ew("att_src_proj", n, spec, reads=Fdim, writes=1))
-            k.append(ew("att_dst_proj", n, spec, reads=Fdim, writes=1))
-            k.append(ew("gather_u", E, spec, reads=1, writes=1, gather=(E, att_sec)))
-            k.append(ew("gather_v", E, spec, reads=1, writes=1, gather=(E, att_sec)))
-            k.append(ew("edge_add", E, spec, reads=2, writes=1))
-            k.append(ew("leaky_relu", E, spec, reads=1, writes=1))
-            k.append(ew("copy_e", E, spec, reads=1, writes=1))
-            k.append(ew("segment_max", E, spec, reads=1, writes=n / max(E, 1)))
-            k.append(ew("gather_max", E, spec, reads=1, writes=1, gather=(E, att_sec)))
-            k.append(ew("sub", E, spec, reads=2, writes=1))
-            k.append(ew("exp", E, spec, reads=1, writes=1))
-            k.append(ew("segment_sum", E, spec, reads=1, writes=n / max(E, 1)))
-            k.append(ew("gather_sum", E, spec, reads=1, writes=1, gather=(E, att_sec)))
-            k.append(ew("div", E, spec, reads=2, writes=1))
-            k.append(ew("coo2csr", E, spec, reads=2, writes=2))
-            k.append(self._spmm(graph, Fdim, spec, weighted=True, coo_atomic=True))
-            k.append(ew("reshape_out", nf, spec, reads=1, writes=1))
-            k.append(ew("cast_out", nf, spec, reads=1, writes=1))
+            ew("att_src_proj", n, reads=Fdim, writes=1)
+            ew("att_dst_proj", n, reads=Fdim, writes=1)
+            ew("gather_u", E, reads=1, writes=1, gather=(E, att_sec))
+            ew("gather_v", E, reads=1, writes=1, gather=(E, att_sec))
+            ew("edge_add", E, reads=2, writes=1)
+            ew("leaky_relu", E, reads=1, writes=1)
+            ew("copy_e", E, reads=1, writes=1)
+            ew("segment_max", E, reads=1, writes=n / max(E, 1))
+            ew("gather_max", E, reads=1, writes=1, gather=(E, att_sec))
+            ew("sub", E, reads=2, writes=1)
+            ew("exp", E, reads=1, writes=1)
+            ew("segment_sum", E, reads=1, writes=n / max(E, 1))
+            ew("gather_sum", E, reads=1, writes=1, gather=(E, att_sec))
+            ew("div", E, reads=2, writes=1)
+            ew("coo2csr", E, reads=2, writes=2)
+            spmm(weighted=True, coo_atomic=True)
+            ew("reshape_out", nf, reads=1, writes=1)
+            ew("cast_out", nf, reads=1, writes=1)
         else:  # pragma: no cover - guarded by supports()
             raise AssertionError(model)
 
         expected = DGL_KERNEL_COUNTS[model]
-        assert len(k) == expected, f"{model}: {len(k)} kernels != {expected}"
-        pipeline = PipelineStats(name=f"dgl_{model}")
-        for stats, _sched in k:
-            pipeline.add(stats)
-        return output, pipeline, k
+        assert len(ops) == expected, f"{model}: {len(ops)} kernels != {expected}"
+        return ExecutionPlan(
+            system=self.name,
+            model=model,
+            graph_name=graph.name,
+            pipeline_name=f"dgl_{model}",
+            ops=ops,
+            compute=ComputeStep(
+                kind="reference",
+                workload=workload,
+                label=f"dgl_{model}_pipeline",
+            ),
+            dispatch_seconds=self.dispatch_seconds,
+        )
 
 
 def make_amap_dim(graph: CSRGraph, feat_dim: int):

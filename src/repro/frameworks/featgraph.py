@@ -12,11 +12,11 @@ finalize kernel; GAT lowers to the 3-kernel pipeline of Table 3.
 
 from __future__ import annotations
 
-from ..gpusim.kernel import PipelineStats
-from ..kernels.fusion import streaming_kernel_stats, three_kernel_gat
+from ..kernels.fusion import streaming_kernel_stats, three_kernel_gat_stats
 from ..kernels.tlpgnn import TLPGNNKernel
 from ..models import build_conv
 from ..obs.tracer import span
+from ..plan import ComputeStep, ExecutionPlan, KernelOp
 from .base import GNNSystem
 
 __all__ = ["FeatGraphSystem"]
@@ -41,34 +41,86 @@ class FeatGraphSystem(GNNSystem):
     def supports(self, model: str) -> bool:
         return model in ("gcn", "gin", "sage", "gat")
 
+    def plan_knobs(self) -> dict:
+        return {**super().plan_knobs(), "warps_per_block": self.warps_per_block}
+
     # ------------------------------------------------------------------
-    def _pipeline(self, model, graph, X, spec, *, dataset, rng):
+    def _lower(self, model, graph, X, spec, *, dataset, rng):
         workload = build_conv(model, graph, X, rng=rng)
-        pipeline = PipelineStats(name=f"featgraph_{model}")
         if model == "gat":
-            with span("featgraph.three_kernel_gat"):
-                output, pstats, parts = three_kernel_gat(
-                    workload,
-                    spec,
-                    schedule_policy="static",
-                    register_cache=False,
-                    l2_efficiency=0.2,
+            # The three stats belong to one TVM lowering: compute them once
+            # per analyzed spec and hand each op its slice.
+            memo: dict[int, list] = {}
+
+            def part_of(index, name):
+                def analyze(s):
+                    key = id(s)
+                    if key not in memo:
+                        with span("featgraph.three_kernel_gat"):
+                            _pipe, parts = three_kernel_gat_stats(
+                                workload,
+                                s,
+                                schedule_policy="static",
+                                register_cache=False,
+                                l2_efficiency=0.2,
+                            )
+                        memo[key] = parts
+                    return memo[key][index]
+
+                return KernelOp(
+                    name=name, kind="modeled",
+                    analyze_fn=analyze, balance="static",
                 )
-            for s, _ in parts:
-                pipeline.add(s)
-            return output, pipeline, parts
-        with span("kernel.run", kernel=self.kernel.name):
-            output = self.kernel.run(workload)
-        with span("kernel.analyze", kernel=self.kernel.name):
-            stats, sched = self.kernel.analyze(workload, spec)
-        fin = streaming_kernel_stats(
-            "featgraph_finalize",
-            graph.num_vertices * X.shape[1],
-            spec,
-            read_bytes_per_item=8.0,
-            write_bytes_per_item=4.0,
-            instr_per_item=2.0,
+
+            ops = [
+                part_of(0, "gat_apply_edge"),
+                part_of(1, "gat_edge_softmax"),
+                part_of(2, "gat_aggregate"),
+            ]
+            return ExecutionPlan(
+                system=self.name,
+                model=model,
+                graph_name=graph.name,
+                pipeline_name=f"featgraph_{model}",
+                ops=ops,
+                compute=ComputeStep(
+                    kind="reference",
+                    workload=workload,
+                    label="gat_three_kernel",
+                ),
+                dispatch_seconds=self.dispatch_seconds,
+            )
+        ops = [
+            KernelOp(
+                name=self.kernel.name,
+                kind="conv",
+                kernel=self.kernel,
+                workload=workload,
+                balance="static",
+            ),
+            KernelOp(
+                name="featgraph_finalize",
+                kind="modeled",
+                analyze_fn=lambda s, _items=graph.num_vertices * X.shape[1]: (
+                    streaming_kernel_stats(
+                        "featgraph_finalize",
+                        _items,
+                        s,
+                        read_bytes_per_item=8.0,
+                        write_bytes_per_item=4.0,
+                        instr_per_item=2.0,
+                    )
+                ),
+            ),
+        ]
+        return ExecutionPlan(
+            system=self.name,
+            model=model,
+            graph_name=graph.name,
+            pipeline_name=f"featgraph_{model}",
+            ops=ops,
+            compute=ComputeStep(
+                kind="kernel", kernel=self.kernel, workload=workload
+            ),
+            dispatch_seconds=self.dispatch_seconds,
         )
-        pipeline.add(stats)
-        pipeline.add(fin[0])
-        return output, pipeline, [(stats, sched), fin]

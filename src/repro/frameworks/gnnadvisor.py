@@ -16,11 +16,11 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..graph.datasets import Dataset
 from ..graph.reorder import degree_sort
-from ..gpusim.kernel import PipelineStats
 from ..kernels.fusion import streaming_kernel_stats
 from ..kernels.neighbor_group import NeighborGroupKernel, build_groups
 from ..models import build_conv
 from ..obs.tracer import span
+from ..plan import ComputeStep, ExecutionPlan, KernelOp
 from .base import CapacityError, GNNSystem
 
 __all__ = ["GNNAdvisorSystem"]
@@ -43,6 +43,9 @@ class GNNAdvisorSystem(GNNSystem):
     def supports(self, model: str) -> bool:
         return model in ("gcn", "gin")
 
+    def plan_knobs(self) -> dict:
+        return {**super().plan_knobs(), "group_size": self.group_size}
+
     def check_capacity(self, graph: CSRGraph, dataset: Dataset | None) -> None:
         edges = dataset.spec.num_edges if dataset is not None else graph.num_edges
         if edges > EDGE_CAPACITY:
@@ -52,7 +55,7 @@ class GNNAdvisorSystem(GNNSystem):
             )
 
     # ------------------------------------------------------------------
-    def _pipeline(self, model, graph, X, spec, *, dataset, rng):
+    def _lower(self, model, graph, X, spec, *, dataset, rng):
         # pre-processing: reorder + group-table build (real host time)
         with span("gnnadvisor.preprocess", graph=graph.name):
             t0 = time.perf_counter()
@@ -63,29 +66,46 @@ class GNNAdvisorSystem(GNNSystem):
         perm = reorder.perm
         Xp = np.ascontiguousarray(X[np.argsort(perm)])
         workload = build_conv(model, reorder.graph, Xp, rng=rng)
-        with span("kernel.run", kernel=self.kernel.name):
-            output_p = self.kernel.run(workload)
-        # undo the permutation so outputs are comparable across systems
-        output = output_p[perm]
-
-        with span("kernel.analyze", kernel=self.kernel.name):
-            stats, sched = self.kernel.analyze(workload, spec)
-        # finalize kernel: combine self term / scale (their second kernel)
-        fin = streaming_kernel_stats(
-            "gnnadvisor_finalize",
-            graph.num_vertices * X.shape[1],
-            spec,
-            read_bytes_per_item=8.0,
-            write_bytes_per_item=4.0,
-            instr_per_item=2.0,
-        )
         # Feature renumbering (permute to the reordered id space) happens once
         # during pre-processing, so it is charged to preprocess time, not to
-        # the per-epoch kernel pipeline the tables compare.
-        pipeline = PipelineStats(
-            name=f"gnnadvisor_{model}", preprocess_seconds=preprocess
+        # the per-epoch kernel pipeline the tables compare.  The compute step
+        # undoes the permutation so outputs are comparable across systems.
+        ops = [
+            KernelOp(
+                name=self.kernel.name,
+                kind="conv",
+                kernel=self.kernel,
+                workload=workload,
+                balance="neighbor-group",
+            ),
+            # finalize kernel: combine self term / scale (their 2nd kernel)
+            KernelOp(
+                name="gnnadvisor_finalize",
+                kind="modeled",
+                analyze_fn=lambda s, _items=graph.num_vertices * X.shape[1]: (
+                    streaming_kernel_stats(
+                        "gnnadvisor_finalize",
+                        _items,
+                        s,
+                        read_bytes_per_item=8.0,
+                        write_bytes_per_item=4.0,
+                        instr_per_item=2.0,
+                    )
+                ),
+            ),
+        ]
+        return ExecutionPlan(
+            system=self.name,
+            model=model,
+            graph_name=graph.name,
+            pipeline_name=f"gnnadvisor_{model}",
+            ops=ops,
+            compute=ComputeStep(
+                kind="kernel",
+                kernel=self.kernel,
+                workload=workload,
+                output_perm=perm,
+            ),
+            preprocess_seconds=preprocess,
+            dispatch_seconds=self.dispatch_seconds,
         )
-        parts = [(stats, sched), fin]
-        for s_, _sched in parts:
-            pipeline.add(s_)
-        return output, pipeline, parts

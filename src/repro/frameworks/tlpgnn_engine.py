@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..gpusim.kernel import PipelineStats
 from ..kernels.edge_centric import EdgeCentricKernel
 from ..kernels.fusion import streaming_kernel_stats
 from ..kernels.tlpgnn import TLPGNNKernel
@@ -23,6 +22,7 @@ from ..models import build_conv
 from ..models.convspec import ConvWorkload
 from ..models.functional import leaky_relu, segment_softmax
 from ..obs.tracer import span
+from ..plan import ComputeStep, ExecutionPlan, KernelOp
 from .base import GNNSystem
 
 __all__ = ["TLPGNNEngine"]
@@ -53,6 +53,17 @@ class TLPGNNEngine(GNNSystem):
     def supports(self, model: str) -> bool:
         return model in ("gcn", "gin", "sage", "gat")
 
+    def plan_knobs(self) -> dict:
+        return {
+            **super().plan_knobs(),
+            "two_level": self.two_level,
+            "hybrid": self.hybrid,
+            "register_cache": self.register_cache,
+            "fusion": self.fusion,
+            "warps_per_block": self.warps_per_block,
+            "step": self.step,
+        }
+
     # ------------------------------------------------------------------
     def _make_kernel(self, dataset) -> TLPGNNKernel:
         # without the hybrid dynamic assignment, the two-level kernel falls
@@ -72,10 +83,9 @@ class TLPGNNEngine(GNNSystem):
             ),
         )
 
-    def _pipeline(self, model, graph, X, spec, *, dataset, rng):
+    def _lower(self, model, graph, X, spec, *, dataset, rng):
         workload = build_conv(model, graph, X, rng=rng)
-        pipeline = PipelineStats(name=f"tlpgnn_{model}")
-        parts = []
+        ops: list[KernelOp] = []
 
         needs_unfused_gat = workload.attention is not None and not (
             self.fusion and self.two_level
@@ -95,42 +105,66 @@ class TLPGNNEngine(GNNSystem):
                 ).astype(np.float64)
                 alphas = segment_softmax(logits, g.indptr).astype(np.float32)
                 att_sec = -(-4 * g.num_vertices // 32)
-                k1 = streaming_kernel_stats(
-                    "apply_edge_logits",
-                    g.num_edges,
-                    spec,
-                    read_bytes_per_item=8.0,
-                    write_bytes_per_item=4.0,
-                    gather_touches=2 * g.num_edges,
-                    gather_unique_sectors=2 * att_sec,
-                    instr_per_item=4.0,
-                    workspace_bytes=4 * g.num_edges,
+                ops.append(
+                    KernelOp(
+                        name="apply_edge_logits",
+                        kind="modeled",
+                        analyze_fn=lambda s, _g=g, _a=att_sec: (
+                            streaming_kernel_stats(
+                                "apply_edge_logits",
+                                _g.num_edges,
+                                s,
+                                read_bytes_per_item=8.0,
+                                write_bytes_per_item=4.0,
+                                gather_touches=2 * _g.num_edges,
+                                gather_unique_sectors=2 * _a,
+                                instr_per_item=4.0,
+                                workspace_bytes=4 * _g.num_edges,
+                            )
+                        ),
+                    )
                 )
-                k2 = streaming_kernel_stats(
-                    "edge_softmax",
-                    g.num_edges,
-                    spec,
-                    read_bytes_per_item=8.0,
-                    write_bytes_per_item=4.0,
-                    instr_per_item=6.0,
-                    workspace_bytes=4 * g.num_edges,
+                ops.append(
+                    KernelOp(
+                        name="edge_softmax",
+                        kind="modeled",
+                        analyze_fn=lambda s, _g=g: streaming_kernel_stats(
+                            "edge_softmax",
+                            _g.num_edges,
+                            s,
+                            read_bytes_per_item=8.0,
+                            write_bytes_per_item=4.0,
+                            instr_per_item=6.0,
+                            workspace_bytes=4 * _g.num_edges,
+                        ),
+                    )
                 )
-                parts.extend([k1, k2])
                 workload = ConvWorkload(
                     graph=g, X=workload.X, edge_weights=alphas, reduce="sum"
                 )
 
         if self.two_level:
             kernel = self._make_kernel(dataset)
+            balance = kernel.assignment
         else:
             kernel = EdgeCentricKernel(warps_per_block=self.warps_per_block)
-        with span("kernel.run", kernel=kernel.name):
-            output = kernel.run(workload)
-        with span("kernel.analyze", kernel=kernel.name) as sp:
-            stats, sched = kernel.analyze(workload, spec)
-            if sp is not None:
-                sp.set(num_units=sched.num_units, policy=sched.policy)
-        parts.append((stats, sched))
-        for s, _sched in parts:
-            pipeline.add(s)
-        return output, pipeline, parts
+            balance = "edge-centric"
+        ops.append(
+            KernelOp(
+                name=kernel.name,
+                kind="conv",
+                kernel=kernel,
+                workload=workload,
+                balance=balance,
+                fused=not needs_unfused_gat and workload.attention is not None,
+            )
+        )
+        return ExecutionPlan(
+            system=self.name,
+            model=model,
+            graph_name=graph.name,
+            pipeline_name=f"tlpgnn_{model}",
+            ops=ops,
+            compute=ComputeStep(kind="kernel", kernel=kernel, workload=workload),
+            dispatch_seconds=self.dispatch_seconds,
+        )

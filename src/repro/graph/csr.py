@@ -8,6 +8,7 @@ This mirrors the ``indptr[des_v]`` indexing in the paper's Figure 7 code.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -102,6 +103,31 @@ class CSRGraph:
     def neighbors(self, v: int) -> np.ndarray:
         """In-neighbours of vertex ``v`` (a view, not a copy)."""
         return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def fingerprint(self, values: np.ndarray | None = None) -> str:
+        """Content sha256 over the CSR arrays (memoized on the instance).
+
+        Identifies the graph by *structure*, not by name: two loads of the
+        same dataset (or two aliased configs) fingerprint identically.
+        ``values`` optionally folds a per-edge value array into the hash
+        (edge weights live in workloads, not in the graph itself).
+        """
+        if values is not None:
+            values = np.ascontiguousarray(values)
+            if values.shape[:1] != (self.num_edges,):
+                raise ValueError("values must have one entry per edge")
+            h = hashlib.sha256(self.fingerprint().encode())
+            h.update(repr((values.shape, str(values.dtype))).encode())
+            h.update(values.tobytes())
+            return h.hexdigest()
+        fp = self._degree_cache.get("fingerprint")
+        if fp is None:
+            h = hashlib.sha256()
+            h.update(np.int64(self.num_vertices).tobytes())
+            h.update(self.indptr.tobytes())
+            h.update(self.indices.tobytes())
+            fp = self._degree_cache["fingerprint"] = h.hexdigest()
+        return fp
 
     # ------------------------------------------------------------------
     # conversions

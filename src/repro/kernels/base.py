@@ -22,10 +22,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..gpusim.config import V100, GPUSpec
-from ..gpusim.costmodel import KernelTiming, estimate_kernel
+from ..gpusim.costmodel import KernelTiming
 from ..gpusim.kernel import KernelStats, LaunchConfig
 from ..gpusim.microsim import AddressMap, MicroSim
-from ..gpusim.occupancy import theoretical_occupancy
 from ..gpusim.scheduler import ScheduleResult
 from ..models.convspec import ConvWorkload, reference_aggregate
 from ..obs.tracer import span
@@ -118,8 +117,9 @@ class ConvKernel(ABC):
             if sp is not None:
                 sp.set(num_units=schedule.num_units, policy=schedule.policy)
         with span("kernel.timing", kernel=self.name) as sp:
-            occ = theoretical_occupancy(stats.launch, spec).theoretical
-            timing = estimate_kernel(stats, schedule, spec, theoretical_occupancy=occ)
+            from ..plan import time_parts
+
+            timing = time_parts([(stats, schedule)], spec)[0]
             if sp is not None:
                 sp.add_modeled(timing.gpu_seconds)
         return KernelResult(output=output, stats=stats, schedule=schedule, timing=timing)

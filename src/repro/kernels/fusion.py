@@ -28,7 +28,12 @@ from ..gpusim.warpcost import warp_cycles
 from ..models.convspec import ConvWorkload, reference_aggregate
 from .base import feature_row_sectors, index_span_sectors, make_amap
 
-__all__ = ["streaming_kernel_stats", "three_kernel_gat", "gat_edge_pipeline_output"]
+__all__ = [
+    "streaming_kernel_stats",
+    "three_kernel_gat",
+    "three_kernel_gat_stats",
+    "gat_edge_pipeline_output",
+]
 
 
 def streaming_kernel_stats(
@@ -133,6 +138,30 @@ def three_kernel_gat(
 ) -> tuple[np.ndarray, PipelineStats, list[tuple[KernelStats, ScheduleResult]]]:
     """The paper's hand-written three-kernel GAT convolution.
 
+    Output + counters in one call; :func:`three_kernel_gat_stats` is the
+    analysis-only half (what plan lowering uses — the output comes from
+    the shared executor instead).
+    """
+    pipeline, parts = three_kernel_gat_stats(
+        workload,
+        spec,
+        schedule_policy=schedule_policy,
+        register_cache=register_cache,
+        l2_efficiency=l2_efficiency,
+    )
+    return gat_edge_pipeline_output(workload), pipeline, parts
+
+
+def three_kernel_gat_stats(
+    workload: ConvWorkload,
+    spec: GPUSpec = V100,
+    *,
+    schedule_policy: str = "hardware",
+    register_cache: bool = True,
+    l2_efficiency: float = 0.35,
+) -> tuple[PipelineStats, list[tuple[KernelStats, ScheduleResult]]]:
+    """Counter model of the three-kernel GAT (no numeric execution).
+
     Kernel 1 (ApplyEdge): logits[e] = LeakyReLU(att_src[src] + att_dst[dst])
     — written to global memory.  Kernel 2 (ApplyVertex): per-destination
     softmax over the logits — rewritten in place.  Kernel 3 (ApplyVertex):
@@ -206,4 +235,4 @@ def three_kernel_gat(
     for stats, sched in (k1, k2, k3):
         pipeline.add(stats)
         parts.append((stats, sched))
-    return gat_edge_pipeline_output(workload), pipeline, parts
+    return pipeline, parts

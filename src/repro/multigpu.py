@@ -29,6 +29,7 @@ from .graph.partition import Partition, partition_kway
 from .gpusim.config import V100, GPUSpec
 from .kernels.tlpgnn import TLPGNNKernel
 from .models.convspec import ConvWorkload
+from .plan import analyze_plan, cost_plan, execute_plan, plan_for_kernel, time_parts
 
 __all__ = ["DeviceShard", "MultiGPUResult", "distribute_conv"]
 
@@ -137,16 +138,24 @@ def distribute_conv(
             X=np.ascontiguousarray(scaled[vertices]),
             reduce="sum",
         )
-        res = kernel.execute(workload, spec)
+        plan = plan_for_kernel(
+            kernel,
+            workload,
+            system="multigpu",
+            pipeline_name=f"multigpu_dev{dev}",
+        )
+        shard_out = execute_plan(plan)
+        pipeline, parts = analyze_plan(plan, spec)
+        timing = cost_plan(pipeline, time_parts(parts, spec), spec)
         mine = lut[local]
-        out[local] += res.output[mine]
+        out[local] += shard_out[mine]
         shards.append(
             DeviceShard(
                 device=dev,
                 local_vertices=local,
                 halo_vertices=halo,
                 local_graph=local_graph,
-                gpu_seconds=res.timing.gpu_seconds,
+                gpu_seconds=timing.gpu_seconds,
             )
         )
     out *= dst_scale[:, None]

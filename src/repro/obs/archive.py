@@ -48,8 +48,16 @@ SCHEMA_VERSION = 1
 def config_fingerprint(
     *, dataset: str, seed: int, feat_dim: int, max_edges: int | None = None,
     spec=None, model: str | None = None, system: str | None = None,
+    graph=None,
 ) -> str:
-    """Stable hash of everything that determines a run's counters."""
+    """Stable hash of everything that determines a run's counters.
+
+    ``graph`` (a :class:`~repro.graph.csr.CSRGraph`) optionally mixes the
+    loaded graph's content hash into the fingerprint, so two runs only
+    compare when they processed byte-identical topology — not merely the
+    same dataset name.  Omitting it keeps the historical hash, so archives
+    recorded before content fingerprinting stay diffable.
+    """
     payload = {
         "dataset": dataset,
         "seed": seed,
@@ -59,6 +67,8 @@ def config_fingerprint(
         "system": system,
         "spec": asdict(spec) if spec is not None else None,
     }
+    if graph is not None:
+        payload["graph"] = graph.fingerprint()
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
@@ -222,13 +232,14 @@ class ProfileArchive:
         feat_dim: int,
         max_edges: int | None = None,
         spec=None,
+        graph=None,
         extra: dict | None = None,
     ) -> Path:
         """Persist one :class:`ProfileReport`; returns the file path."""
         fp = config_fingerprint(
             dataset=report.dataset, seed=seed, feat_dim=feat_dim,
             max_edges=max_edges, spec=spec, model=report.model,
-            system=report.system,
+            system=report.system, graph=graph,
         )
         entry = {
             "schema_version": SCHEMA_VERSION,

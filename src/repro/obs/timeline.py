@@ -140,18 +140,24 @@ def build_timeline(
 
     # stable ordering: metadata first, then by (track, time)
     events.sort(key=lambda e: (e["ph"] != "M", e["pid"], e["tid"], e["ts"]))
+    other = {
+        "system": report.system,
+        "model": report.model,
+        "dataset": report.dataset,
+        "num_sms": spec.num_sms,
+        "gpu_time_ms": report.gpu_time_ms,
+        "runtime_ms": report.runtime_ms,
+        "dropped_events": dropped,
+    }
+    plan = getattr(result, "plan", None)
+    if plan is not None:
+        other["plan_fingerprint"] = plan.fingerprint
+        other["plan_cached"] = plan.cached
+        other["plan_ops"] = list(plan.op_names)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "system": report.system,
-            "model": report.model,
-            "dataset": report.dataset,
-            "num_sms": spec.num_sms,
-            "gpu_time_ms": report.gpu_time_ms,
-            "runtime_ms": report.runtime_ms,
-            "dropped_events": dropped,
-        },
+        "otherData": other,
     }
 
 

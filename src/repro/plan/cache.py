@@ -1,0 +1,181 @@
+"""Bounded plan cache keyed by a content fingerprint.
+
+A cache entry memoizes everything the execute + analyze/cost stages
+produce for one (system, model, graph, features, spec, knobs) cell:
+the output features, the aggregated :class:`~repro.gpusim.kernel.
+PipelineStats`, and the :class:`~repro.gpusim.costmodel.PipelineTiming`.
+A warm hit therefore skips lowering, numeric execution, and the whole
+counter/cost analysis — the host-side win ``benchmarks/bench_serving.py``
+measures.
+
+Cache key (:func:`plan_fingerprint`) — content, never identity:
+
+* the graph's :meth:`~repro.graph.csr.CSRGraph.fingerprint` (sha256 over
+  the CSR arrays),
+* the feature matrix bytes (shape + dtype + data),
+* model name, system name, and the system's ``plan_knobs()`` dict,
+* the full :class:`~repro.gpusim.config.GPUSpec`,
+* the dataset's full-size hints (they steer TLPGNN's hybrid heuristic).
+
+Invalidation rules: anything not in the key must not change results.
+Two run paths bypass the cache by construction (see
+``frameworks/base.py``): an explicit ``rng`` (caller-controlled attention
+parameters) and an installed tracer (span replay must observe the real
+execution, not a memoized one).
+
+Hits and misses are published as ``plan_cache_hit`` / ``plan_cache_miss``
+counters into the installed :mod:`repro.obs.metrics` registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..gpusim.config import GPUSpec
+from ..gpusim.costmodel import PipelineTiming
+from ..gpusim.kernel import PipelineStats
+from ..obs.metrics import get_registry
+from .ir import PlanInfo
+
+__all__ = [
+    "PlanCache",
+    "PlanCacheEntry",
+    "plan_fingerprint",
+    "get_plan_cache",
+    "set_plan_cache",
+]
+
+#: default entry bound — big enough for a bench sweep's working set,
+#: small enough that cached output matrices stay cheap
+DEFAULT_MAXSIZE = 32
+
+
+def plan_fingerprint(
+    *,
+    system: str,
+    model: str,
+    graph,
+    X: np.ndarray,
+    spec: GPUSpec,
+    knobs: dict | None = None,
+    dataset=None,
+) -> str:
+    """Content sha256 identifying one lowered + analyzed cell."""
+    payload = {
+        "system": system,
+        "model": model,
+        "knobs": knobs or {},
+        "spec": asdict(spec),
+        "dataset": (
+            {
+                "abbr": dataset.spec.abbr,
+                "scale": dataset.scale,
+                "full_num_vertices": dataset.full_num_vertices,
+                "full_avg_degree": dataset.full_avg_degree,
+            }
+            if dataset is not None
+            else None
+        ),
+    }
+    h = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    )
+    h.update(graph.fingerprint().encode())
+    X = np.ascontiguousarray(X)
+    h.update(repr((X.shape, str(X.dtype))).encode())
+    h.update(X.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class PlanCacheEntry:
+    """Memoized execute + analyze/cost results of one plan."""
+
+    output: np.ndarray
+    stats: PipelineStats
+    timing: PipelineTiming
+    info: PlanInfo
+
+
+class PlanCache:
+    """Bounded LRU over :class:`PlanCacheEntry`, with hit/miss counters."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, PlanCacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    def get(self, key: str, **labels: str) -> PlanCacheEntry | None:
+        """Look up a fingerprint; counts (and publishes) the hit/miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            self._publish("plan_cache_miss", labels)
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self._publish("plan_cache_hit", labels)
+        return entry
+
+    def put(self, key: str, entry: PlanCacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _publish(name: str, labels: dict) -> None:
+        registry = get_registry()
+        if registry is not None:
+            registry.counter(name, **labels).inc()
+
+
+#: process-wide cache, enabled by default (set to None to disable)
+_PLAN_CACHE: PlanCache | None = PlanCache()
+
+
+def get_plan_cache() -> PlanCache | None:
+    """The installed process-wide plan cache (None = caching disabled)."""
+    return _PLAN_CACHE
+
+
+def set_plan_cache(cache: PlanCache | None) -> PlanCache | None:
+    """Install (or disable with None) the plan cache; returns the previous."""
+    global _PLAN_CACHE
+    previous = _PLAN_CACHE
+    _PLAN_CACHE = cache
+    return previous

@@ -1,0 +1,33 @@
+"""The shared numeric executor: one run loop for every lowered plan.
+
+Replaces the per-framework execution code that used to live inside each
+system's ``_pipeline``: a plan's :class:`~repro.plan.ir.ComputeStep`
+either runs a real ConvKernel or the exact functional reference, then
+optionally un-permutes the output back to the caller's vertex order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.convspec import reference_aggregate
+from ..obs.tracer import span
+from .ir import ExecutionPlan
+
+__all__ = ["execute_plan"]
+
+
+def execute_plan(plan: ExecutionPlan) -> np.ndarray:
+    """Produce the plan's output features (the execute stage)."""
+    step = plan.compute
+    if step.kind == "kernel":
+        with span("kernel.run", kernel=step.kernel.name):
+            output = step.kernel.run(step.workload)
+    elif step.kind == "reference":
+        with span("kernel.run", kernel=step.label or plan.pipeline_name):
+            output = reference_aggregate(step.workload)
+    else:  # pragma: no cover - lowering rules only emit the two kinds
+        raise ValueError(f"unknown compute kind {step.kind!r}")
+    if step.output_perm is not None:
+        output = output[step.output_perm]
+    return output

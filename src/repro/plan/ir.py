@@ -1,0 +1,195 @@
+"""The ExecutionPlan IR: what a lowered GNN pipeline *is*.
+
+A plan is the compile-stage artifact of one (system, model, graph,
+features, spec) cell: the ordered kernel list with each kernel's workload
+or counter-model closure, the workload-balance choice, the fusion
+structure, and one :class:`ComputeStep` describing how the numeric output
+is produced.  Plans carry no timing — analysis and costing happen in
+:mod:`repro.plan.analyzer` so they can be cached and re-dispatched
+without re-lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..gpusim.config import GPUSpec
+from ..gpusim.kernel import KernelStats
+from ..gpusim.scheduler import ScheduleResult
+from ..models.convspec import ConvWorkload
+from ..obs.tracer import span
+
+__all__ = ["KernelOp", "ComputeStep", "ExecutionPlan", "PlanInfo", "plan_for_kernel"]
+
+#: analyze closure signature for modeled (non-ConvKernel) ops
+AnalyzeFn = Callable[[GPUSpec], tuple[KernelStats, ScheduleResult]]
+
+
+@dataclass(frozen=True)
+class KernelOp:
+    """One kernel launch of a lowered pipeline.
+
+    Two kinds exist:
+
+    * ``kind="conv"`` — a real :class:`~repro.kernels.base.ConvKernel`
+      over a :class:`~repro.models.convspec.ConvWorkload`; analysis runs
+      the kernel's vectorized counter model.
+    * ``kind="modeled"`` — a counter-model closure (``analyze_fn``) for
+      kernels that exist only as launches in the framework's pipeline
+      (DGL's elementwise glue, finalize kernels, the unfused GAT stages).
+    """
+
+    name: str
+    kind: str  # "conv" | "modeled"
+    kernel: Any | None = None
+    workload: ConvWorkload | None = None
+    analyze_fn: AnalyzeFn | None = None
+    #: workload-balance choice ("hybrid" / "hardware" / "static" /
+    #: "neighbor-group" / "edge-centric" / None for streaming glue)
+    balance: str | None = None
+    #: whether this op fuses what the baseline runs as multiple launches
+    fused: bool = False
+
+    def analyze(self, spec: GPUSpec) -> tuple[KernelStats, ScheduleResult]:
+        """Produce this op's counters + schedule for ``spec``."""
+        if self.kind == "conv":
+            with span("kernel.analyze", kernel=self.kernel.name) as sp:
+                stats, sched = self.kernel.analyze(self.workload, spec)
+                if sp is not None:
+                    sp.set(num_units=sched.num_units, policy=sched.policy)
+            return stats, sched
+        if self.analyze_fn is None:
+            raise ValueError(f"modeled op {self.name!r} has no analyze_fn")
+        return self.analyze_fn(spec)
+
+
+@dataclass(frozen=True)
+class ComputeStep:
+    """How a plan's numeric output is produced (the execute stage).
+
+    ``kind="kernel"`` runs ``kernel.run(workload)``; ``kind="reference"``
+    runs the exact functional reference over the workload (the baselines
+    whose many-launch pipelines are numerically just the reference
+    aggregation).  ``output_perm`` optionally un-permutes the output back
+    to the caller's vertex order (GNNAdvisor's reordering).
+    """
+
+    kind: str  # "kernel" | "reference"
+    workload: ConvWorkload
+    kernel: Any | None = None
+    #: span label for reference-kind execution
+    label: str | None = None
+    output_perm: np.ndarray | None = None
+
+
+@dataclass(frozen=True)
+class PlanInfo:
+    """Light, cache-safe summary of a plan (attached to SystemResult)."""
+
+    system: str
+    model: str
+    graph: str
+    pipeline: str
+    num_kernels: int
+    op_names: tuple[str, ...]
+    fingerprint: str | None = None
+    #: True when the result came from a warm PlanCache entry
+    cached: bool = False
+
+
+@dataclass
+class ExecutionPlan:
+    """A lowered pipeline: ops + compute step + host-side cost metadata."""
+
+    system: str
+    model: str
+    graph_name: str
+    pipeline_name: str
+    ops: list[KernelOp]
+    compute: ComputeStep
+    #: one-off host pre-processing charged to the pipeline (GNNAdvisor)
+    preprocess_seconds: float = 0.0
+    #: per-kernel framework dispatch cost (None = bare launches)
+    dispatch_seconds: float | None = None
+    #: content fingerprint (see :func:`repro.plan.cache.plan_fingerprint`);
+    #: None when the plan was lowered outside the cacheable path
+    fingerprint: str | None = None
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.ops)
+
+    @property
+    def op_names(self) -> tuple[str, ...]:
+        return tuple(op.name for op in self.ops)
+
+    def info(self, *, cached: bool = False) -> PlanInfo:
+        return PlanInfo(
+            system=self.system,
+            model=self.model,
+            graph=self.graph_name,
+            pipeline=self.pipeline_name,
+            num_kernels=self.num_kernels,
+            op_names=self.op_names,
+            fingerprint=self.fingerprint,
+            cached=cached,
+        )
+
+    def describe(self) -> str:
+        """Human-readable lowering (the ``repro plan`` subcommand body)."""
+        head = (
+            f"{self.system}/{self.model} on {self.graph_name}: "
+            f"{self.num_kernels} kernel(s), pipeline {self.pipeline_name}"
+        )
+        if self.fingerprint:
+            head += f", fingerprint {self.fingerprint[:16]}"
+        lines = [head]
+        for i, op in enumerate(self.ops):
+            attrs = ["conv" if op.kind == "conv" else "modeled"]
+            if op.balance:
+                attrs.append(f"balance={op.balance}")
+            if op.fused:
+                attrs.append("fused")
+            lines.append(f"  [{i}] {op.name} ({', '.join(attrs)})")
+        if self.dispatch_seconds:
+            lines.append(
+                f"  + framework dispatch "
+                f"{self.dispatch_seconds * 1e6:.0f} us per kernel"
+            )
+        if self.preprocess_seconds:
+            lines.append(
+                f"  + host pre-processing "
+                f"{self.preprocess_seconds * 1e3:.3f} ms (one-off)"
+            )
+        return "\n".join(lines)
+
+
+def plan_for_kernel(
+    kernel,
+    workload: ConvWorkload,
+    *,
+    system: str = "kernel",
+    model: str = "conv",
+    pipeline_name: str | None = None,
+    balance: str | None = None,
+) -> ExecutionPlan:
+    """Wrap a single ConvKernel launch as a one-op plan (multigpu shards)."""
+    return ExecutionPlan(
+        system=system,
+        model=model,
+        graph_name=workload.graph.name,
+        pipeline_name=pipeline_name or f"{system}_{kernel.name}",
+        ops=[
+            KernelOp(
+                name=kernel.name,
+                kind="conv",
+                kernel=kernel,
+                workload=workload,
+                balance=balance or getattr(kernel, "assignment", None),
+            )
+        ],
+        compute=ComputeStep(kind="kernel", kernel=kernel, workload=workload),
+    )

@@ -4,12 +4,15 @@ The adapter bridges the offline world (a :class:`~repro.frameworks.base.
 GNNSystem` profiling one convolution) and the online one (the stream
 simulator executing micro-batches):
 
-* it runs the system's pipeline through the existing cost model to get
-  per-kernel :class:`~repro.gpusim.costmodel.KernelTiming`, then
+* it runs the system's lower → execute → analyze pipeline (which routes
+  through the process-wide :class:`~repro.plan.PlanCache`, so a warm serve
+  pass reuses the memoized :class:`~repro.gpusim.costmodel.PipelineTiming`
+  and skips re-analysis entirely), then
 * converts each pipeline kernel into a :class:`~repro.gpusim.streams.
   StreamKernel` via :func:`~repro.gpusim.costmodel.stream_demands`, with
-  the framework dispatch cost (DGL-sim's per-kernel Python loop tax)
-  folded into the launch prefix.
+  the framework dispatch cost (the single source of truth is the system's
+  ``dispatch_seconds``, applied once in ``repro.plan.cost_plan``) folded
+  into the launch prefix.
 
 The conversion is exact by construction: summing ``launch + alone`` over
 the plan reproduces the offline ``runtime_seconds``, which is what makes
@@ -106,6 +109,8 @@ class ServableModel:
             (self.graph.num_vertices, feat_dim), dtype=np.float32
         )
         self._full_timing: PipelineTiming | None = None
+        #: plan identity of the last offline profile (cached flag included)
+        self.plan_info = None
 
     @property
     def label(self) -> str:
@@ -118,6 +123,7 @@ class ServableModel:
         if self._full_timing is None:
             result = self.system.run(self.model, self.data, self.X, self.spec)
             self._full_timing = result.report.timing
+            self.plan_info = result.plan
         return self._full_timing
 
     @property

@@ -8,6 +8,19 @@ import pytest
 from repro.graph import CSRGraph, chain, erdos_renyi, from_edge_list, power_law, star
 from repro.models import build_conv
 from repro.models.convspec import ConvWorkload
+from repro.plan import get_plan_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_cache():
+    """Isolate tests from the process-global plan cache (and vice versa)."""
+    cache = get_plan_cache()
+    if cache is not None:
+        cache.clear()
+    yield
+    cache = get_plan_cache()
+    if cache is not None:
+        cache.clear()
 
 
 @pytest.fixture

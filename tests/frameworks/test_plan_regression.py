@@ -1,0 +1,55 @@
+"""Byte-identity regression against the pre-refactor golden fixture.
+
+``tests/data/golden_plan_refactor.json`` was captured from the
+per-framework run loops *before* the compile/execute split: 24 cells
+(4 systems x gcn/gat x CS/CR/PD, default :class:`BenchConfig`), each
+pinning the output sha256 and the full modeled metric dict (host
+``preprocess_ms`` excluded — it is real wall time).  The shared
+lower -> execute -> analyze driver must reproduce every cell exactly.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BenchConfig, get_dataset, make_features, run_system
+from repro.frameworks import DGLSystem, FeatGraphSystem, GNNAdvisorSystem, TLPGNNEngine
+
+GOLDEN = Path(__file__).parent.parent / "data" / "golden_plan_refactor.json"
+SYSTEMS = {
+    "DGL": DGLSystem,
+    "GNNAdvisor": GNNAdvisorSystem,
+    "FeatGraph": FeatGraphSystem,
+    "TLPGNN": TLPGNNEngine,
+}
+
+
+def _cells():
+    golden = json.loads(GOLDEN.read_text())
+    return sorted(golden.items())
+
+
+@pytest.mark.parametrize("key,want", _cells(), ids=[k for k, _ in _cells()])
+def test_cell_matches_golden(key, want):
+    sysname, model, abbr = key.split("/")
+    config = BenchConfig()
+    ds = get_dataset(abbr, config)
+    X = make_features(ds.graph.num_vertices, config.feat_dim, seed=config.seed)
+    res = run_system(SYSTEMS[sysname](), model, ds, config, X=X)
+
+    if want is None:
+        assert res is None, f"{key}: expected a dash cell"
+        return
+    assert res is not None, f"{key}: expected a result, got a dash"
+
+    got_hash = hashlib.sha256(
+        np.ascontiguousarray(res.output).tobytes()
+    ).hexdigest()
+    assert got_hash == want["output_sha256"], f"{key}: output drifted"
+
+    got = res.report.as_dict()
+    got.pop("preprocess_ms", None)
+    assert got == want["metrics"], f"{key}: modeled metrics drifted"

@@ -171,6 +171,29 @@ class TestPermuteSubgraph:
         assert s["num_edges"] == small_random.num_edges
         assert s["max_degree"] == small_random.max_degree
 
+    def test_fingerprint_is_content_hash(self, small_random, tiny_graph):
+        fp = small_random.fingerprint()
+        assert fp == small_random.fingerprint()  # memoized, stable
+        assert fp != tiny_graph.fingerprint()
+        # identical content in a fresh object hashes identically
+        clone = CSRGraph(
+            indptr=small_random.indptr.copy(),
+            indices=small_random.indices.copy(),
+            num_vertices=small_random.num_vertices,
+            name="clone",
+        )
+        assert clone.fingerprint() == fp
+
+    def test_fingerprint_values_variant(self, small_random):
+        base = small_random.fingerprint()
+        w = np.ones(small_random.num_edges, dtype=np.float32)
+        weighted = small_random.fingerprint(values=w)
+        assert weighted != base
+        assert weighted == small_random.fingerprint(values=w.copy())
+        assert weighted != small_random.fingerprint(values=w + 1.0)
+        with pytest.raises(ValueError):
+            small_random.fingerprint(values=w[:-1])
+
 
 @given(
     edges=st.lists(
