@@ -96,6 +96,6 @@ def test_device_scaling_preserves_ordering(benchmark):
         return out
 
     res = benchmark.pedantic(compare, rounds=1, iterations=1)
-    for mode, times in res.items():
+    for _mode, times in res.items():
         valid = {k: v for k, v in times.items() if v is not None}
         assert min(valid, key=valid.get) == "TLPGNN"

@@ -10,6 +10,6 @@ def test_fig12_feature_scaling(benchmark, config):
     for rec in result.records:
         norm = rec["normalized"]
         assert norm[0] == 1.0
-        assert all(b > a for a, b in zip(norm, norm[1:]))  # monotone in F
+        assert all(b > a for a, b in zip(norm, norm[1:], strict=False))  # monotone in F
         # 512 dims = 32x the work of 16; paper measures 27x-41.6x
         assert 10.0 < norm[-1] < 120.0  # ON crosses the L2 cliff, overshooting

@@ -25,10 +25,11 @@ def community_graph(n=1500, classes=4, feat=16, homophily=0.85, seed=0):
     src, dst = [], []
     for _ in range(n * 6):
         u = int(rng.integers(0, n))
-        if rng.random() < homophily:
-            v = int(rng.choice(np.flatnonzero(labels == labels[u])))
-        else:
-            v = int(rng.integers(0, n))
+        v = (
+            int(rng.choice(np.flatnonzero(labels == labels[u])))
+            if rng.random() < homophily
+            else int(rng.integers(0, n))
+        )
         if u != v:
             src.append(v)
             dst.append(u)

@@ -63,19 +63,20 @@ def hybrid_assignment(
     n = vertex_cycles.size if num_vertices is None else num_vertices
     deg = avg_degree if avg_degree is not None else 0.0
     policy = choose_assignment(n, deg)
-    if policy == "software":
-        sched, launch = software_assignment(
+    sched, launch = (
+        software_assignment(
             vertex_cycles,
             spec,
             step=step,
             warps_per_block=warps_per_block * 2,
             regs_per_thread=regs_per_thread,
         )
-    else:
-        sched, launch = hardware_assignment(
+        if policy == "software"
+        else hardware_assignment(
             vertex_cycles,
             spec,
             warps_per_block=warps_per_block,
             regs_per_thread=regs_per_thread,
         )
+    )
     return sched, launch, policy

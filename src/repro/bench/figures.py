@@ -17,11 +17,14 @@ from .report import TableResult, fmt_mb, fmt_pct
 
 __all__ = ["fig8", "fig9", "fig10", "fig11", "fig12", "ablation_series"]
 
+#: Figure 11/12 default dataset grid (immutable so it can be a default arg)
+LARGE_FOUR_T = tuple(LARGE_FOUR)
+
 
 def fig8(config: BenchConfig | None = None) -> TableResult:
     """Figure 8: GNNAdvisor atomic-write traffic for GCN and GIN."""
     config = config or BenchConfig(feat_dim=32)
-    headers = ["Model"] + list(FIG8_SEVEN)
+    headers = ["Model", *FIG8_SEVEN]
     rows, records = [], []
     for model in ("gcn", "gin"):
         row = [model.upper()]
@@ -50,7 +53,7 @@ def fig8(config: BenchConfig | None = None) -> TableResult:
 def fig9(config: BenchConfig | None = None) -> TableResult:
     """Figure 9: achieved occupancy, FeatGraph vs TLPGNN (GCN)."""
     config = config or BenchConfig(feat_dim=32)
-    headers = ["System"] + list(DATASET_ORDER) + ["Average"]
+    headers = ["System", *DATASET_ORDER, "Average"]
     rows, records = [], []
     for name, factory in (("FeatGraph", FeatGraphSystem), ("TLPGNN", TLPGNNEngine)):
         vals = []
@@ -62,7 +65,9 @@ def fig9(config: BenchConfig | None = None) -> TableResult:
             records.append(
                 {"system": name, "dataset": abbr, "occupancy": vals[-1]}
             )
-        rows.append([name] + [fmt_pct(v) for v in vals] + [fmt_pct(np.mean(vals))])
+        rows.append(
+            [name, *(fmt_pct(v) for v in vals), fmt_pct(np.mean(vals))]
+        )
         records.append(
             {"system": name, "dataset": "average", "occupancy": float(np.mean(vals))}
         )
@@ -153,7 +158,7 @@ def fig11(
     config: BenchConfig | None = None,
     *,
     models: tuple[str, ...] = ("gcn", "gin", "sage", "gat"),
-    datasets: tuple[str, ...] = tuple(LARGE_FOUR),
+    datasets: tuple[str, ...] = LARGE_FOUR_T,
     block_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
     threads_per_block: int = 512,
     step: int = 2,
@@ -176,7 +181,7 @@ def fig11(
     config = config or BenchConfig(feat_dim=32)
     spec = config.spec
     warps_per_block = threads_per_block // spec.threads_per_warp
-    headers = ["Model", "Data"] + [str(b) for b in block_counts]
+    headers = ["Model", "Data", *(str(b) for b in block_counts)]
     rows, records = [], []
     for model in models:
         for abbr in datasets:
@@ -229,8 +234,8 @@ def fig11(
                 )
             speedups = [times[0] / t for t in times]
             rows.append(
-                [model.upper() if model != "sage" else "Sage", abbr]
-                + [f"{s:.1f}x" for s in speedups]
+                [model.upper() if model != "sage" else "Sage", abbr,
+                 *(f"{s:.1f}x" for s in speedups)]
             )
             records.append(
                 {
@@ -254,12 +259,12 @@ def fig12(
     config: BenchConfig | None = None,
     *,
     models: tuple[str, ...] = ("gcn", "gin", "sage", "gat"),
-    datasets: tuple[str, ...] = tuple(LARGE_FOUR),
+    datasets: tuple[str, ...] = LARGE_FOUR_T,
     feat_sizes: tuple[int, ...] = (16, 32, 64, 128, 256, 512),
 ) -> TableResult:
     """Figure 12: normalized runtime against feature size (vs size 16)."""
     base_cfg = config or BenchConfig()
-    headers = ["Model", "Data"] + [str(f) for f in feat_sizes]
+    headers = ["Model", "Data", *(str(f) for f in feat_sizes)]
     rows, records = [], []
     for model in models:
         for abbr in datasets:
@@ -275,8 +280,8 @@ def fig12(
                 times.append(res.report.gpu_time_ms)
             norm = [t / times[0] for t in times]
             rows.append(
-                [model.upper() if model != "sage" else "Sage", abbr]
-                + [f"{v:.1f}x" for v in norm]
+                [model.upper() if model != "sage" else "Sage", abbr,
+                 *(f"{v:.1f}x" for v in norm)]
             )
             records.append(
                 {

@@ -61,10 +61,10 @@ def render_table(
     ]
     sep = "-+-".join("-" * w for w in widths)
     out = [title, "=" * len(title)]
-    out.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    out.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths, strict=True)))
     out.append(sep)
     for r in rows:
-        out.append(" | ".join(str(v).ljust(w) for v, w in zip(r, widths)))
+        out.append(" | ".join(str(v).ljust(w) for v, w in zip(r, widths, strict=True)))
     if notes:
         out.append("")
         out.append(notes)

@@ -47,7 +47,7 @@ def sweep_feature_dims(
     """Runtime of each system as the feature dimension grows."""
     base = config or BenchConfig()
     counts = _CacheCounts()
-    headers = ["System"] + [str(f) for f in feat_dims]
+    headers = ["System", *(str(f) for f in feat_dims)]
     rows, records = [], []
     for name in systems:
         row = [name]
@@ -131,7 +131,7 @@ def sweep_grid(
     """model × dataset runtime grid for one system."""
     cfg = config or BenchConfig()
     counts = _CacheCounts()
-    headers = ["Model"] + list(datasets)
+    headers = ["Model", *datasets]
     rows, records = [], []
     for model in models:
         row = [model.upper()]

@@ -54,15 +54,15 @@ def table1(config: BenchConfig | None = None) -> TableResult:
         "Pull": TLPGNNKernel(assignment="hardware"),
     }
     recs = {name: _kernel_metrics(k, workload, spec) for name, k in kernels.items()}
-    headers = ["Metrics"] + list(kernels)
+    headers = ["Metrics", *kernels]
     rows = [
-        ["Runtime (ms)"] + [fmt_ms(recs[k]["runtime_ms"]) for k in kernels],
-        ["Mem load traffic"] + [fmt_mb(recs[k]["load_bytes"]) for k in kernels],
-        ["Mem atomic store traffic"]
-        + [fmt_mb(recs[k]["atomic_bytes"]) for k in kernels],
-        ["Stall long scoreboard (cyc)"]
-        + [f"{recs[k]['stall']:.1f}" for k in kernels],
-        ["SM utilization"] + [fmt_pct(recs[k]["sm_util"]) for k in kernels],
+        ["Runtime (ms)", *(fmt_ms(recs[k]["runtime_ms"]) for k in kernels)],
+        ["Mem load traffic", *(fmt_mb(recs[k]["load_bytes"]) for k in kernels)],
+        ["Mem atomic store traffic",
+         *(fmt_mb(recs[k]["atomic_bytes"]) for k in kernels)],
+        ["Stall long scoreboard (cyc)",
+         *(f"{recs[k]['stall']:.1f}" for k in kernels)],
+        ["SM utilization", *(fmt_pct(recs[k]["sm_util"]) for k in kernels)],
     ]
     return TableResult(
         exp_id="Table 1",
@@ -87,13 +87,13 @@ def table2(config: BenchConfig | None = None) -> TableResult:
         "Half Warp": TLPGNNKernel(group_size=16, assignment="hardware"),
     }
     recs = {n: _kernel_metrics(k, workload, spec) for n, k in kernels.items()}
-    headers = ["Metrics"] + list(kernels)
+    headers = ["Metrics", *kernels]
     rows = [
-        ["Runtime (ms)"] + [fmt_ms(recs[k]["runtime_ms"]) for k in kernels],
-        ["Sector per request"]
-        + [f"{recs[k]['sectors_per_request']:.1f}" for k in kernels],
-        ["L1 cache hit"] + [fmt_pct(recs[k]["l1_hit_est"]) for k in kernels],
-        ["Long scoreboard (cyc)"] + [f"{recs[k]['stall']:.1f}" for k in kernels],
+        ["Runtime (ms)", *(fmt_ms(recs[k]["runtime_ms"]) for k in kernels)],
+        ["Sector per request",
+         *(f"{recs[k]['sectors_per_request']:.1f}" for k in kernels)],
+        ["L1 cache hit", *(fmt_pct(recs[k]["l1_hit_est"]) for k in kernels)],
+        ["Long scoreboard (cyc)", *(f"{recs[k]['stall']:.1f}" for k in kernels)],
     ]
     return TableResult(
         exp_id="Table 2",
@@ -154,18 +154,18 @@ def table3(config: BenchConfig | None = None) -> TableResult:
             "sm": one_rep.sm_utilization,
         },
     }
-    headers = ["Metrics"] + list(cols)
+    headers = ["Metrics", *cols]
     rows = [
-        ["GPU kernel launches"] + [str(c["kernels"]) for c in cols.values()],
-        ["Runtime (ms)"] + [fmt_ms(c["runtime"]) for c in cols.values()],
-        ["GPU time (ms)"] + [fmt_ms(c["gpu"]) for c in cols.values()],
-        ["Runtime - GPU time (ms)"]
-        + [fmt_ms(c["runtime"] - c["gpu"]) for c in cols.values()],
-        ["Global mem usage"] + [fmt_mb(c["usage"]) for c in cols.values()],
-        ["Global mem traffic"] + [fmt_mb(c["traffic"]) for c in cols.values()],
-        ["Stall long scoreboard (cyc)"]
-        + [f"{c['stall']:.1f}" for c in cols.values()],
-        ["Average SM utilization"] + [fmt_pct(c["sm"]) for c in cols.values()],
+        ["GPU kernel launches", *(str(c["kernels"]) for c in cols.values())],
+        ["Runtime (ms)", *(fmt_ms(c["runtime"]) for c in cols.values())],
+        ["GPU time (ms)", *(fmt_ms(c["gpu"]) for c in cols.values())],
+        ["Runtime - GPU time (ms)",
+         *(fmt_ms(c["runtime"] - c["gpu"]) for c in cols.values())],
+        ["Global mem usage", *(fmt_mb(c["usage"]) for c in cols.values())],
+        ["Global mem traffic", *(fmt_mb(c["traffic"]) for c in cols.values())],
+        ["Stall long scoreboard (cyc)",
+         *(f"{c['stall']:.1f}" for c in cols.values())],
+        ["Average SM utilization", *(fmt_pct(c["sm"]) for c in cols.values())],
     ]
     return TableResult(
         exp_id="Table 3",

@@ -185,7 +185,7 @@ def validate_claims(
             continue
         try:
             passed, detail = fn(config)
-        except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+        except Exception as exc:  # report, don't crash the sweep
             passed, detail = False, f"error: {exc!r}"
         out.append(ClaimResult(cid, desc, passed, detail))
     return out

@@ -19,6 +19,9 @@ serve               simulated online inference serving (open-loop trace,
 plan                lower one (dataset, model) cell and print each
                     system's ExecutionPlan (kernel list, balance choice,
                     fusion structure, content fingerprint)
+lint                statically analyze lowered plans for hazards, resource
+                    limits, and nondeterminism sources (no execution);
+                    --strict exits 1 on error-severity findings
 """
 
 from __future__ import annotations
@@ -137,6 +140,21 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("model", choices=["gcn", "gin", "sage", "gat"])
     pl.add_argument("--system", choices=sorted(SYSTEMS), default=None,
                     help="limit to one system (default: all four)")
+    pl.add_argument("--lint", action="store_true",
+                    help="append the static lint report to each plan")
+
+    li = sub.add_parser(
+        "lint", help="static hazard/resource/determinism analysis of plans"
+    )
+    li.add_argument("--system", choices=sorted(SYSTEMS), default=None,
+                    help="limit to one system (default: all four)")
+    li.add_argument("--model", action="append", default=None,
+                    choices=["gcn", "gin", "sage", "gat"],
+                    help="model(s) to lint (default: gcn and gat)")
+    li.add_argument("--dataset", action="append", default=None,
+                    help="dataset abbreviation(s) (default: CR CS PD)")
+    li.add_argument("--strict", action="store_true",
+                    help="exit 1 if any error-severity finding is reported")
     return p
 
 
@@ -438,9 +456,53 @@ def cmd_plan(args: argparse.Namespace, out) -> int:
             print(f"{name}: - ({type(exc).__name__}: {exc})\n", file=out)
             continue
         print(plan.describe(), file=out)
+        if args.lint:
+            from .lint import lint_plan
+
+            print("  lint: " + lint_plan(plan, spec).render(), file=out)
         print(file=out)
         lowered += 1
     return 0 if lowered else 1
+
+
+def cmd_lint(args: argparse.Namespace, out) -> int:
+    """Statically lint the lowered plans of a grid of cells (no execution)."""
+    from .frameworks.base import CapacityError, UnsupportedModelError
+    from .lint import lint_plan
+
+    config = _config(args)
+    systems = [args.system] if args.system else sorted(SYSTEMS)
+    models = args.model or ["gcn", "gat"]
+    datasets = args.dataset or ["CR", "CS", "PD"]
+    errors = warnings_ = cells = 0
+    for ds_name in datasets:
+        dataset = get_dataset(ds_name, config)
+        X = make_features(
+            dataset.graph.num_vertices, config.feat_dim, seed=config.seed
+        )
+        spec = config.spec_for(dataset)
+        for model in models:
+            for name in systems:
+                try:
+                    plan = SYSTEMS[name]().lower(model, dataset, X, spec)
+                except (UnsupportedModelError, CapacityError) as exc:
+                    print(
+                        f"{name}/{model} on {ds_name}: - "
+                        f"({type(exc).__name__})",
+                        file=out,
+                    )
+                    continue
+                report = lint_plan(plan, spec)
+                print(report.render(), file=out)
+                cells += 1
+                errors += len(report.errors)
+                warnings_ += len(report.warnings)
+    print(
+        f"\nlinted {cells} plan(s): {errors} error(s), "
+        f"{warnings_} warning(s)",
+        file=out,
+    )
+    return 1 if (args.strict and errors) else 0
 
 
 _COMMANDS = {
@@ -455,6 +517,7 @@ _COMMANDS = {
     "diff": cmd_diff,
     "serve": cmd_serve,
     "plan": cmd_plan,
+    "lint": cmd_lint,
 }
 
 

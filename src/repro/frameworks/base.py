@@ -18,6 +18,7 @@ the full pipeline.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
 
@@ -27,6 +28,7 @@ from ..gpusim.config import V100, GPUSpec
 from ..gpusim.profiler import ProfileReport
 from ..graph.csr import CSRGraph
 from ..graph.datasets import Dataset
+from ..lint import PlanLintError, lint_plan
 from ..obs.tracer import get_tracer, span
 from ..plan import (
     ExecutionPlan,
@@ -153,8 +155,18 @@ class GNNSystem(ABC):
         spec: GPUSpec = V100,
         *,
         rng: np.random.Generator | None = None,
+        lint: str | None = None,
     ) -> SystemResult:
-        """Execute the model's graph convolution and profile it."""
+        """Execute the model's graph convolution and profile it.
+
+        ``lint`` gates execution on the static plan analyzer: ``"strict"``
+        raises :class:`~repro.lint.PlanLintError` on any error-severity
+        finding, ``"warn"`` emits the report as a warning; either mode
+        bypasses the plan cache (cache hits skip lowering, so there would
+        be no ops to analyze).
+        """
+        if lint not in (None, "warn", "strict"):
+            raise ValueError(f"lint must be None, 'warn' or 'strict': {lint!r}")
         model, graph, dataset = self._prepare(model, data)
         cache = get_plan_cache()
         # an explicit rng makes the cell content-unaddressable (the key
@@ -163,7 +175,12 @@ class GNNSystem(ABC):
         key = None
         if rng is None:
             key = self._fingerprint(model, graph, X, spec, dataset)
-        cacheable = key is not None and cache is not None and get_tracer() is None
+        cacheable = (
+            key is not None
+            and cache is not None
+            and get_tracer() is None
+            and lint is None
+        )
         if cacheable:
             entry = cache.get(key, system=self.name, model=model)
             if entry is not None:
@@ -185,6 +202,12 @@ class GNNSystem(ABC):
         with span(f"{self.name}.pipeline", model=model, graph=graph.name) as sp:
             plan = self._lower(model, graph, X, spec, dataset=dataset, rng=rng)
             plan.fingerprint = key
+            if lint is not None:
+                lint_report = lint_plan(plan, spec)
+                if lint == "strict" and lint_report.errors:
+                    raise PlanLintError(lint_report)
+                if lint_report.findings:
+                    warnings.warn(lint_report.render(), stacklevel=2)
             output = execute_plan(plan)
             if sp is not None:
                 sp.set(num_kernels=plan.num_kernels)

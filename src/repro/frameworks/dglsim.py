@@ -20,6 +20,7 @@ from ..gpusim.warpcost import warp_cycles
 from ..graph.csr import CSRGraph
 from ..kernels.base import feature_row_sectors, index_span_sectors
 from ..kernels.fusion import streaming_kernel_stats
+from ..lint.effects import LaunchEnvelope, effect_table
 from ..models import build_conv
 from ..obs.tracer import span
 from ..plan import ComputeStep, ExecutionPlan, KernelOp
@@ -29,6 +30,10 @@ __all__ = ["DGLSystem"]
 
 #: kernel-launch counts the paper measures for DGL
 DGL_KERNEL_COUNTS = {"gcn": 6, "gin": 8, "sage": 10, "gat": 18}
+
+#: launch envelope of the streaming glue kernels (8 warps per block — the
+#: ``streaming_kernel_stats`` default)
+STREAM_ENVELOPE = LaunchEnvelope(threads_per_block=256)
 
 
 class DGLSystem(GNNSystem):
@@ -161,7 +166,11 @@ class DGLSystem(GNNSystem):
 
         ops: list[KernelOp] = []
 
-        def ew(name, items, *, reads=2.0, writes=1.0, gather=None):
+        def ew(name, items, *, reads=2.0, writes=1.0, gather=None,
+               rb=(), wb="tmp:x"):
+            # rb/wb: the named buffers of the effect table — the dataflow
+            # the hazard lint walks (rb = read buffers, wb = the one buffer
+            # this launch materializes)
             ops.append(
                 KernelOp(
                     name=name,
@@ -170,10 +179,24 @@ class DGLSystem(GNNSystem):
                     _w=writes, _g=gather: self._elementwise(
                         _n, _i, s, reads=_r, writes=_w, gather=_g
                     ),
+                    effects=effect_table(
+                        reads=tuple(rb), writes=(wb,), launch=STREAM_ENVELOPE
+                    ),
                 )
             )
 
-        def spmm(*, weighted, coo_atomic=False):
+        def spmm(*, weighted, coo_atomic=False, rb=(), wb="tmp:agg"):
+            # COO scatter merges every edge contribution with atomicAdd;
+            # the cuSPARSE row-parallel path keeps each row's partials in
+            # one thread block — exclusive writes, no merge needed
+            merge = (
+                {"atomics": (wb,), "atomic_ops": E * Fdim}
+                if coo_atomic
+                else {"writes": (wb,)}
+            )
+            effects = effect_table(
+                reads=tuple(rb), launch=STREAM_ENVELOPE, **merge
+            )
             ops.append(
                 KernelOp(
                     name="spmm_coo_atomic" if coo_atomic else "spmm",
@@ -182,55 +205,80 @@ class DGLSystem(GNNSystem):
                         graph, Fdim, s, weighted=_w, coo_atomic=_c
                     ),
                     balance="row-parallel" if not coo_atomic else "coo-scatter",
+                    effects=effects,
                 )
             )
 
         if model == "gcn":
-            ew("degs", n, reads=2, writes=1)
-            ew("u_mul_norm", nf, reads=2, writes=1)
-            ew("csr_check", E, reads=1, writes=1)
-            spmm(weighted=False)
-            ew("v_mul_norm", nf, reads=2, writes=1)
-            ew("add_self", nf, reads=2, writes=1)
+            ew("degs", n, reads=2, writes=1, rb=("indptr",), wb="tmp:deg")
+            ew("u_mul_norm", nf, reads=2, writes=1,
+               rb=("feat", "tmp:deg"), wb="tmp:xn")
+            ew("csr_check", E, reads=1, writes=1,
+               rb=("indptr", "indices"), wb="tmp:csr_ok")
+            spmm(weighted=False, rb=("indptr", "indices", "tmp:xn"))
+            ew("v_mul_norm", nf, reads=2, writes=1,
+               rb=("tmp:agg", "tmp:deg"), wb="tmp:aggn")
+            ew("add_self", nf, reads=2, writes=1,
+               rb=("tmp:aggn", "feat"), wb="out")
         elif model == "gin":
-            ew("degs", n, reads=2, writes=1)
-            ew("copy_u", nf, reads=1, writes=1)
-            ew("csr_check", E, reads=1, writes=1)
-            spmm(weighted=False)
-            ew("eps_scale", nf, reads=1, writes=1)
-            ew("add_self", nf, reads=2, writes=1)
-            ew("fill", nf, reads=0.5, writes=1)
-            ew("cast", nf, reads=1, writes=1)
+            ew("degs", n, reads=2, writes=1, rb=("indptr",), wb="tmp:deg")
+            ew("copy_u", nf, reads=1, writes=1, rb=("feat",), wb="tmp:xc")
+            ew("csr_check", E, reads=1, writes=1,
+               rb=("indptr", "indices"), wb="tmp:csr_ok")
+            spmm(weighted=False, rb=("indptr", "indices", "tmp:xc"))
+            ew("eps_scale", nf, reads=1, writes=1, rb=("feat",), wb="tmp:eps")
+            ew("add_self", nf, reads=2, writes=1,
+               rb=("tmp:agg", "tmp:eps"), wb="tmp:sum")
+            ew("fill", nf, reads=0.5, writes=1, rb=(), wb="tmp:fill")
+            ew("cast", nf, reads=1, writes=1, rb=("tmp:sum",), wb="out")
         elif model == "sage":
-            ew("degs", n, reads=2, writes=1)
-            ew("copy_u", nf, reads=1, writes=1)
-            ew("csr_check", E, reads=1, writes=1)
-            spmm(weighted=False)
-            ew("count", n, reads=1, writes=1)
-            ew("clamp", n, reads=1, writes=1)
-            ew("div_deg", nf, reads=2, writes=1)
-            ew("fill", nf, reads=0.5, writes=1)
-            ew("concat_prep", nf, reads=1, writes=1)
-            ew("cast", nf, reads=1, writes=1)
+            ew("degs", n, reads=2, writes=1, rb=("indptr",), wb="tmp:deg")
+            ew("copy_u", nf, reads=1, writes=1, rb=("feat",), wb="tmp:xc")
+            ew("csr_check", E, reads=1, writes=1,
+               rb=("indptr", "indices"), wb="tmp:csr_ok")
+            spmm(weighted=False, rb=("indptr", "indices", "tmp:xc"))
+            ew("count", n, reads=1, writes=1, rb=("indptr",), wb="tmp:cnt")
+            ew("clamp", n, reads=1, writes=1, rb=("tmp:cnt",), wb="tmp:cntc")
+            ew("div_deg", nf, reads=2, writes=1,
+               rb=("tmp:agg", "tmp:cntc"), wb="tmp:mean")
+            ew("fill", nf, reads=0.5, writes=1, rb=(), wb="tmp:fill")
+            ew("concat_prep", nf, reads=1, writes=1,
+               rb=("tmp:mean", "feat"), wb="tmp:cat")
+            ew("cast", nf, reads=1, writes=1, rb=("tmp:cat",), wb="out")
         elif model == "gat":
-            ew("att_src_proj", n, reads=Fdim, writes=1)
-            ew("att_dst_proj", n, reads=Fdim, writes=1)
-            ew("gather_u", E, reads=1, writes=1, gather=(E, att_sec))
-            ew("gather_v", E, reads=1, writes=1, gather=(E, att_sec))
-            ew("edge_add", E, reads=2, writes=1)
-            ew("leaky_relu", E, reads=1, writes=1)
-            ew("copy_e", E, reads=1, writes=1)
-            ew("segment_max", E, reads=1, writes=n / max(E, 1))
-            ew("gather_max", E, reads=1, writes=1, gather=(E, att_sec))
-            ew("sub", E, reads=2, writes=1)
-            ew("exp", E, reads=1, writes=1)
-            ew("segment_sum", E, reads=1, writes=n / max(E, 1))
-            ew("gather_sum", E, reads=1, writes=1, gather=(E, att_sec))
-            ew("div", E, reads=2, writes=1)
-            ew("coo2csr", E, reads=2, writes=2)
-            spmm(weighted=True, coo_atomic=True)
-            ew("reshape_out", nf, reads=1, writes=1)
-            ew("cast_out", nf, reads=1, writes=1)
+            ew("att_src_proj", n, reads=Fdim, writes=1,
+               rb=("feat",), wb="tmp:asrc")
+            ew("att_dst_proj", n, reads=Fdim, writes=1,
+               rb=("feat",), wb="tmp:adst")
+            ew("gather_u", E, reads=1, writes=1, gather=(E, att_sec),
+               rb=("tmp:asrc", "indices"), wb="tmp:eu")
+            ew("gather_v", E, reads=1, writes=1, gather=(E, att_sec),
+               rb=("tmp:adst", "indices"), wb="tmp:ev")
+            ew("edge_add", E, reads=2, writes=1,
+               rb=("tmp:eu", "tmp:ev"), wb="tmp:elog")
+            ew("leaky_relu", E, reads=1, writes=1,
+               rb=("tmp:elog",), wb="tmp:elr")
+            ew("copy_e", E, reads=1, writes=1, rb=("tmp:elr",), wb="tmp:ecp")
+            ew("segment_max", E, reads=1, writes=n / max(E, 1),
+               rb=("tmp:ecp", "indptr"), wb="tmp:vmax")
+            ew("gather_max", E, reads=1, writes=1, gather=(E, att_sec),
+               rb=("tmp:vmax", "indices"), wb="tmp:emax")
+            ew("sub", E, reads=2, writes=1,
+               rb=("tmp:elr", "tmp:emax"), wb="tmp:esub")
+            ew("exp", E, reads=1, writes=1, rb=("tmp:esub",), wb="tmp:eexp")
+            ew("segment_sum", E, reads=1, writes=n / max(E, 1),
+               rb=("tmp:eexp", "indptr"), wb="tmp:vsum")
+            ew("gather_sum", E, reads=1, writes=1, gather=(E, att_sec),
+               rb=("tmp:vsum", "indices"), wb="tmp:esum")
+            ew("div", E, reads=2, writes=1,
+               rb=("tmp:eexp", "tmp:esum"), wb="tmp:alpha")
+            ew("coo2csr", E, reads=2, writes=2,
+               rb=("indptr", "indices"), wb="tmp:coo")
+            spmm(weighted=True, coo_atomic=True,
+                 rb=("tmp:coo", "tmp:alpha", "feat"), wb="tmp:aggw")
+            ew("reshape_out", nf, reads=1, writes=1,
+               rb=("tmp:aggw",), wb="tmp:resh")
+            ew("cast_out", nf, reads=1, writes=1, rb=("tmp:resh",), wb="out")
         else:  # pragma: no cover - guarded by supports()
             raise AssertionError(model)
 

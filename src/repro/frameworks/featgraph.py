@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from ..kernels.fusion import streaming_kernel_stats, three_kernel_gat_stats
 from ..kernels.tlpgnn import TLPGNNKernel
+from ..lint.effects import LaunchEnvelope, effect_table
 from ..models import build_conv
 from ..obs.tracer import span
 from ..plan import ComputeStep, ExecutionPlan, KernelOp
@@ -52,7 +53,7 @@ class FeatGraphSystem(GNNSystem):
             # per analyzed spec and hand each op its slice.
             memo: dict[int, list] = {}
 
-            def part_of(index, name):
+            def part_of(index, name, *, rb, wb):
                 def analyze(s):
                     key = id(s)
                     if key not in memo:
@@ -70,12 +71,23 @@ class FeatGraphSystem(GNNSystem):
                 return KernelOp(
                     name=name, kind="modeled",
                     analyze_fn=analyze, balance="static",
+                    effects=effect_table(
+                        reads=rb,
+                        writes=(wb,),
+                        launch=LaunchEnvelope(
+                            threads_per_block=self.warps_per_block * 32
+                        ),
+                    ),
                 )
 
             ops = [
-                part_of(0, "gat_apply_edge"),
-                part_of(1, "gat_edge_softmax"),
-                part_of(2, "gat_aggregate"),
+                part_of(0, "gat_apply_edge",
+                        rb=("indices", "att"), wb="tmp:logits"),
+                part_of(1, "gat_edge_softmax",
+                        rb=("tmp:logits", "indptr"), wb="tmp:alpha"),
+                part_of(2, "gat_aggregate",
+                        rb=("tmp:alpha", "indptr", "indices", "feat"),
+                        wb="out"),
             ]
             return ExecutionPlan(
                 system=self.name,
@@ -110,6 +122,11 @@ class FeatGraphSystem(GNNSystem):
                         write_bytes_per_item=4.0,
                         instr_per_item=2.0,
                     )
+                ),
+                effects=effect_table(
+                    reads=("out", "feat"),
+                    writes=("out",),
+                    launch=LaunchEnvelope(threads_per_block=256),
                 ),
             ),
         ]

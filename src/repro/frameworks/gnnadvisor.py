@@ -18,6 +18,7 @@ from ..graph.datasets import Dataset
 from ..graph.reorder import degree_sort
 from ..kernels.fusion import streaming_kernel_stats
 from ..kernels.neighbor_group import NeighborGroupKernel, build_groups
+from ..lint.effects import LaunchEnvelope, effect_table
 from ..models import build_conv
 from ..obs.tracer import span
 from ..plan import ComputeStep, ExecutionPlan, KernelOp
@@ -91,6 +92,13 @@ class GNNAdvisorSystem(GNNSystem):
                         write_bytes_per_item=4.0,
                         instr_per_item=2.0,
                     )
+                ),
+                # reads the atomically-merged aggregate back in place and
+                # folds in the self term — an exclusive elementwise update
+                effects=effect_table(
+                    reads=("out", "feat"),
+                    writes=("out",),
+                    launch=LaunchEnvelope(threads_per_block=256),
                 ),
             ),
         ]

@@ -18,6 +18,7 @@ import numpy as np
 from ..kernels.edge_centric import EdgeCentricKernel
 from ..kernels.fusion import streaming_kernel_stats
 from ..kernels.tlpgnn import TLPGNNKernel
+from ..lint.effects import LaunchEnvelope, effect_table
 from ..models import build_conv
 from ..models.convspec import ConvWorkload
 from ..models.functional import leaky_relu, segment_softmax
@@ -122,6 +123,11 @@ class TLPGNNEngine(GNNSystem):
                                 workspace_bytes=4 * _g.num_edges,
                             )
                         ),
+                        effects=effect_table(
+                            reads=("indices", "att"),
+                            writes=("tmp:logits",),
+                            launch=LaunchEnvelope(threads_per_block=256),
+                        ),
                     )
                 )
                 ops.append(
@@ -136,6 +142,13 @@ class TLPGNNEngine(GNNSystem):
                             write_bytes_per_item=4.0,
                             instr_per_item=6.0,
                             workspace_bytes=4 * _g.num_edges,
+                        ),
+                        # materializes the per-edge alphas the downstream
+                        # aggregation consumes as its `edge_vals` input
+                        effects=effect_table(
+                            reads=("tmp:logits", "indptr"),
+                            writes=("edge_vals",),
+                            launch=LaunchEnvelope(threads_per_block=256),
                         ),
                     )
                 )

@@ -59,7 +59,7 @@ def sectors_for_addresses(addresses: np.ndarray, itemsize: int, sector_bytes: in
     if np.all(firsts == lasts):
         return int(np.unique(firsts).size)
     spans = np.concatenate(
-        [np.arange(f, l + 1) for f, l in zip(firsts, lasts)]
+        [np.arange(f, l + 1) for f, l in zip(firsts, lasts, strict=True)]
     )
     return int(np.unique(spans).size)
 

@@ -116,7 +116,7 @@ class MicroSim:
         if self.l1 is not None:
             firsts = addresses // self.spec.sector_bytes
             lasts = (addresses + itemsize - 1) // self.spec.sector_bytes
-            for f, l in zip(firsts, lasts):
+            for f, l in zip(firsts, lasts, strict=True):
                 for s in range(int(f), int(l) + 1):
                     self.l1.access(s)
         return n

@@ -16,7 +16,12 @@ import numpy as np
 from .config import GPUSpec
 from .kernel import LaunchConfig
 
-__all__ = ["OccupancyReport", "theoretical_occupancy", "achieved_occupancy"]
+__all__ = [
+    "OccupancyReport",
+    "theoretical_occupancy",
+    "envelope_occupancy",
+    "achieved_occupancy",
+]
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,47 @@ def theoretical_occupancy(launch: LaunchConfig, spec: GPUSpec) -> OccupancyRepor
     if grid_blocks_per_sm < blocks:
         blocks = grid_blocks_per_sm
         limiter = "grid_size"
+    warps = blocks * warps_per_block
+    return OccupancyReport(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        theoretical=min(warps / spec.max_warps_per_sm, 1.0),
+        limited_by=limiter,
+    )
+
+
+def envelope_occupancy(
+    spec: GPUSpec,
+    *,
+    threads_per_block: int,
+    regs_per_thread: int = 32,
+    shared_mem_per_block: int = 0,
+) -> OccupancyReport:
+    """Grid-independent occupancy of a block resource *envelope*.
+
+    The static-lint variant of :func:`theoretical_occupancy`: no launch
+    exists yet, so there is no grid-size cap — only the per-block resource
+    footprint against the SM's structural limits.  Unlike
+    :meth:`GPUSpec.occupancy_limit_blocks`, this never raises on oversized
+    envelopes; it reports zero resident blocks and the binding limiter so
+    the resource sanitizer can turn that into a finding.
+    """
+    if threads_per_block < 1:
+        raise ValueError("threads_per_block must be positive")
+    warps_per_block = -(-threads_per_block // spec.threads_per_warp)
+    limits = {
+        "warps": spec.max_warps_per_sm // warps_per_block,
+        "registers": spec.registers_per_sm
+        // max(regs_per_thread * threads_per_block, 1),
+        "shared_memory": (
+            spec.shared_mem_per_sm // shared_mem_per_block
+            if shared_mem_per_block > 0
+            else spec.max_blocks_per_sm
+        ),
+        "block_slots": spec.max_blocks_per_sm,
+    }
+    limiter = min(limits, key=limits.get)
+    blocks = max(min(limits.values()), 0)
     warps = blocks * warps_per_block
     return OccupancyReport(
         blocks_per_sm=blocks,

@@ -129,7 +129,7 @@ def rmat(
     m = n * edge_factor
     src = np.zeros(m, dtype=np.int64)
     dst = np.zeros(m, dtype=np.int64)
-    for bit in range(scale):
+    for _bit in range(scale):
         r = rng.random(m)
         src_bit = (r >= a + b).astype(np.int64)
         r2 = rng.random(m)

@@ -139,5 +139,5 @@ def to_networkx(graph: CSRGraph):
     g = nx.DiGraph()
     g.add_nodes_from(range(graph.num_vertices))
     src, dst = graph.edge_list()
-    g.add_edges_from(zip(src.tolist(), dst.tolist()))
+    g.add_edges_from(zip(src.tolist(), dst.tolist(), strict=True))
     return g

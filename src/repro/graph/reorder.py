@@ -87,7 +87,7 @@ def bfs_locality(graph: CSRGraph, *, source: int = 0) -> ReorderResult:
         if total == 0:
             break
         nbrs = np.concatenate(
-            [sym.indices[s:e] for s, e in zip(starts, ends)]
+            [sym.indices[s:e] for s, e in zip(starts, ends, strict=True)]
         ) if total else np.zeros(0, dtype=np.int64)
         nbrs = np.unique(nbrs)
         nbrs = nbrs[~visited[nbrs]]

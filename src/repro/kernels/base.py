@@ -26,6 +26,7 @@ from ..gpusim.costmodel import KernelTiming
 from ..gpusim.kernel import KernelStats, LaunchConfig
 from ..gpusim.microsim import AddressMap, MicroSim
 from ..gpusim.scheduler import ScheduleResult
+from ..lint.effects import KernelEffects
 from ..models.convspec import ConvWorkload, reference_aggregate
 from ..obs.tracer import span
 
@@ -103,6 +104,13 @@ class ConvKernel(ABC):
     def trace(self, workload: ConvWorkload, sim: MicroSim) -> np.ndarray:
         """Micro-simulator replay (small graphs); returns the output."""
         raise NotImplementedError(f"{self.name} has no micro-sim trace")
+
+    def effects(self, workload: ConvWorkload) -> KernelEffects | None:
+        """Declared effect table for ``workload`` (buffers + launch
+        envelope; see :mod:`repro.lint.effects`).  ``None`` means the
+        kernel declares nothing — the hazard lint flags that as an error,
+        so every concrete kernel overrides this."""
+        return None
 
     def supports(self, workload: ConvWorkload) -> bool:
         """Whether the kernel can execute the workload (attention etc.)."""

@@ -19,6 +19,7 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
+from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import ConvKernel, feature_row_sectors, feature_rounds, make_amap
 
@@ -38,6 +39,18 @@ class EdgeCentricKernel(ConvKernel):
 
     def supports(self, workload: ConvWorkload) -> bool:
         return workload.attention is None and workload.reduce != "max"
+
+    def effects(self, workload: ConvWorkload):
+        # Pure scatter over COO chunks (no indptr): every edge atomically
+        # merges a feature row into its destination — no plain stores at
+        # all; even the self term rides the atomic path.
+        g = workload.graph
+        return effect_table(
+            reads=conv_read_buffers(workload, indptr=False),
+            atomics=("out",),
+            atomic_ops=g.num_edges * workload.feat_dim,
+            launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
+        )
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

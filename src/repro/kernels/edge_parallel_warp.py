@@ -22,6 +22,7 @@ from ..gpusim.memory import cached_dram_sectors, scattered_rows_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
+from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import ConvKernel, feature_row_sectors, index_span_sectors, make_amap
 
@@ -41,6 +42,16 @@ class EdgeParallelWarpKernel(ConvKernel):
 
     def supports(self, workload: ConvWorkload) -> bool:
         return workload.attention is None and workload.reduce != "max"
+
+    def effects(self, workload: ConvWorkload):
+        # Still warp-per-vertex at level 1: the shuffle tree keeps the
+        # cross-lane reduction in registers, so the output write stays
+        # exclusive (the naive atomic variant is what TLPGNN rejects).
+        return effect_table(
+            reads=conv_read_buffers(workload),
+            writes=("out",),
+            launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
+        )
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

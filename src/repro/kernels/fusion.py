@@ -97,10 +97,10 @@ def streaming_kernel_stats(
         num_blocks=max(1, -(-max(cycles.size, 1) // warps_per_block)),
         threads_per_block=warps_per_block * spec.threads_per_warp,
     )
-    if schedule_policy == "static":
-        schedule = static_schedule(cycles, launch, spec)
-    else:
-        schedule = hardware_schedule(cycles, launch, spec)
+    schedule_fn = (
+        static_schedule if schedule_policy == "static" else hardware_schedule
+    )
+    schedule = schedule_fn(cycles, launch, spec)
     stats = KernelStats(
         name=name,
         launch=launch,

@@ -20,6 +20,7 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
+from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import (
     ConvKernel,
@@ -75,6 +76,19 @@ class NeighborGroupKernel(ConvKernel):
 
     def supports(self, workload: ConvWorkload) -> bool:
         return workload.attention is None and workload.reduce != "max"
+
+    def effects(self, workload: ConvWorkload):
+        # One warp per neighbour group; groups of the same vertex merge
+        # their partial rows with atomicAdd — sum(ceil(d/gs)) * F element
+        # ops, Figure 8's traffic.  The host-built group table is an input.
+        d = workload.graph.in_degrees.astype(np.int64)
+        n_groups = int(np.sum(d // self.group_size + (d % self.group_size > 0)))
+        return effect_table(
+            reads=("group_table", *conv_read_buffers(workload)),
+            atomics=("out",),
+            atomic_ops=n_groups * workload.feat_dim,
+            launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
+        )
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

@@ -23,6 +23,7 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult, hardware_schedule
 from ..gpusim.warpcost import warp_cycles
+from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import (
     ConvKernel,
@@ -48,6 +49,20 @@ class PullCTAKernel(ConvKernel):
             raise ValueError("warps_per_block must be >= 1")
         self.warps_per_block = warps_per_block
         self.name = f"pull_cta[w={warps_per_block}]"
+
+    def effects(self, workload: ConvWorkload):
+        # CTA-per-vertex: warps combine partial rows through a shared-
+        # memory tree reduce (one staged feature row per warp), then the
+        # block's lane group writes its vertex row exclusively.
+        smem = 4 * workload.feat_dim * self.warps_per_block
+        return effect_table(
+            reads=conv_read_buffers(workload),
+            writes=("out",),
+            launch=LaunchEnvelope(
+                threads_per_block=self.warps_per_block * 32,
+                shared_mem_per_block=smem,
+            ),
+        )
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

@@ -17,6 +17,7 @@ from ..gpusim.memory import cached_dram_sectors, scattered_rows_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
+from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import ConvKernel, feature_row_sectors, index_span_sectors, make_amap
 
@@ -30,6 +31,15 @@ class PullThreadKernel(ConvKernel):
 
     def __init__(self, *, warps_per_block: int = 4) -> None:
         self.warps_per_block = warps_per_block
+
+    def effects(self, workload: ConvWorkload):
+        # Uncoalesced, but still pull-style: each thread owns one output
+        # row, so the writes stay exclusive and atomic-free.
+        return effect_table(
+            reads=conv_read_buffers(workload),
+            writes=("out",),
+            launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
+        )
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

@@ -18,6 +18,7 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
+from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import (
     ConvKernel,
@@ -41,6 +42,19 @@ class PushKernel(ConvKernel):
     def supports(self, workload: ConvWorkload) -> bool:
         # scatter cannot express per-destination softmax or max-reduce
         return workload.attention is None and workload.reduce != "max"
+
+    def effects(self, workload: ConvWorkload):
+        # Each warp initializes its own source row (exclusive write of the
+        # self term), then scatters into arbitrary destination rows: every
+        # edge merges a full feature row with atomicAdd (E*F element ops).
+        g = workload.graph
+        return effect_table(
+            reads=conv_read_buffers(workload),
+            writes=("out",),
+            atomics=("out",),
+            atomic_ops=g.num_edges * workload.feat_dim,
+            launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
+        )
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         # Scatter over out-edges computes the same sums as the gather

@@ -28,6 +28,7 @@ from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
 from ..models.convspec import ConvWorkload
+from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from .base import (
     ConvKernel,
     feature_row_sectors,
@@ -132,6 +133,20 @@ class TLPGNNKernel(ConvKernel):
     # ------------------------------------------------------------------
     def supports(self, workload: ConvWorkload) -> bool:
         return True  # attention fused in-kernel
+
+    def effects(self, workload: ConvWorkload):
+        # Warp-per-vertex: each warp owns its output row outright — no
+        # atomics, no inter-warp writes (the paper's central claim).  The
+        # envelope is the widest block any assignment may launch: the
+        # software/hybrid task-pool path doubles warps_per_block.
+        wpb = self.warps_per_block
+        if self.assignment in ("software", "hybrid"):
+            wpb *= 2
+        return effect_table(
+            reads=conv_read_buffers(workload),
+            writes=("out",),
+            launch=LaunchEnvelope(threads_per_block=wpb * 32),
+        )
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         # The warp-serial loop order is a rearrangement of the same sums the

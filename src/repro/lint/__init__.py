@@ -1,0 +1,75 @@
+"""Static hazard, resource, and determinism analysis over ExecutionPlans.
+
+The paper's central invariants are structural — warp-per-vertex
+aggregation needs no atomics, scatter baselines *must* merge with
+``atomicAdd``, and every launch must fit the device's occupancy limits
+(§3.1, §3.4, Figure 8).  This package checks them at compile time, from
+the declarative effect tables every kernel op carries:
+
+* :mod:`~repro.lint.effects` — the effect-table vocabulary and the
+  micro-sim cross-validation that keeps declarations honest,
+* :mod:`~repro.lint.hazards` — def-use races, fusion-boundary RAW
+  hazards, plan-cache-unsafe rng reads (HAZ001-HAZ004, errors),
+* :mod:`~repro.lint.resources` — launch envelopes vs GPUSpec limits
+  (RES001-RES004 errors, RES005 low-occupancy warning),
+* :mod:`~repro.lint.determinism` — atomic float reductions and rng reads
+  as order-nondeterminism warnings (DET001/DET002),
+* :mod:`~repro.lint.report` — severity-ranked findings and rendering.
+
+Entry points: :func:`lint_plan` (used by ``python -m repro lint`` and the
+``lint="strict"`` gate on :meth:`~repro.frameworks.base.GNNSystem.run`).
+
+Nothing in this package imports :mod:`repro.plan` — the plan IR imports
+the effect vocabulary from here, and ``lint_plan`` duck-types its plan.
+"""
+
+from ..gpusim.config import V100, GPUSpec
+from .determinism import determinism_findings
+from .effects import (
+    TRANSIENT_PREFIX,
+    BufferEffect,
+    KernelEffects,
+    LaunchEnvelope,
+    conv_read_buffers,
+    cross_validate_effects,
+    effect_table,
+    is_transient,
+)
+from .hazards import hazard_findings
+from .report import (
+    Finding,
+    LintReport,
+    PlanLintError,
+    severity_rank,
+    sort_findings,
+)
+from .resources import resource_findings
+
+__all__ = [
+    "BufferEffect",
+    "KernelEffects",
+    "LaunchEnvelope",
+    "TRANSIENT_PREFIX",
+    "Finding",
+    "LintReport",
+    "PlanLintError",
+    "conv_read_buffers",
+    "cross_validate_effects",
+    "determinism_findings",
+    "effect_table",
+    "hazard_findings",
+    "is_transient",
+    "lint_plan",
+    "resource_findings",
+    "severity_rank",
+    "sort_findings",
+]
+
+
+def lint_plan(plan, spec: GPUSpec = V100) -> LintReport:
+    """Run all three analyses over one lowered plan."""
+    findings = hazard_findings(plan)
+    findings += resource_findings(plan, spec)
+    findings += determinism_findings(plan)
+    label = f"{plan.system}/{plan.model} on {plan.graph_name}"
+    return LintReport(plan_label=label, findings=tuple(sort_findings(findings)))

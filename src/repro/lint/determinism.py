@@ -1,0 +1,58 @@
+"""Determinism lint: bitwise reproducibility of a plan's output.
+
+TLPGNN's aggregation is atomic-free by construction (warp-per-vertex, each
+warp owns its output row), so its float addition order is fixed and runs
+are bitwise reproducible.  Scatter-style baselines merge rows with
+``atomicAdd`` on floats: the hardware serializes colliding updates in
+arrival order, which varies run to run — same math, different rounding.
+
+* **DET001** (warning) — an atomic merge on a float buffer: the plan's
+  output is order-nondeterministic.  Every DGL-sim GAT plan (the
+  ``spmm_coo_atomic`` path) and every GNNAdvisor neighbor-group plan draws
+  this; TLPGNN plans must not.
+* **DET002** (warning) — an rng-consuming op: reproducible only when the
+  caller pins the generator (the cache-safety side is HAZ004).
+"""
+
+from __future__ import annotations
+
+from .report import Finding
+
+__all__ = ["determinism_findings"]
+
+
+def determinism_findings(plan) -> list[Finding]:
+    """Order-nondeterminism warnings for one lowered plan."""
+    findings: list[Finding] = []
+    for op in plan.ops:
+        eff = op.effects
+        if eff is None:
+            continue  # HAZ001 covers undeclared ops
+        for b in eff.buffers:
+            if b.mode == "atomic" and b.dtype.startswith("f"):
+                findings.append(
+                    Finding(
+                        severity="warning",
+                        rule="DET001",
+                        message=(
+                            f"atomic float merge into '{b.buffer}' "
+                            f"({eff.atomic_ops} ops): addition order follows "
+                            "hardware arrival order — output is "
+                            "order-nondeterministic"
+                        ),
+                        op=op.name,
+                    )
+                )
+        if eff.reads_rng:
+            findings.append(
+                Finding(
+                    severity="warning",
+                    rule="DET002",
+                    message=(
+                        "op consumes host randomness — reproducible only "
+                        "under a caller-pinned generator"
+                    ),
+                    op=op.name,
+                )
+            )
+    return findings

@@ -1,0 +1,94 @@
+"""Lint findings, severity ranking, and report rendering.
+
+Kept free of sibling imports (the analyses import *us*) and free of
+:mod:`repro.plan` imports (the plan IR sits above the lint layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "LintReport",
+    "PlanLintError",
+    "severity_rank",
+    "sort_findings",
+]
+
+#: most severe first — the sort order of every report
+SEVERITIES = ("error", "warning", "info")
+
+
+def severity_rank(severity: str) -> int:
+    """Position in :data:`SEVERITIES` (unknown severities sort last)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        return len(SEVERITIES)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic against one op of one plan."""
+
+    severity: str  # "error" | "warning" | "info"
+    rule: str  # e.g. "HAZ002"
+    message: str
+    op: str | None = None  # offending KernelOp name (None = whole plan)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}")
+
+    def render(self) -> str:
+        where = f" @ {self.op}" if self.op else ""
+        return f"[{self.severity}] {self.rule}{where}: {self.message}"
+
+
+def sort_findings(findings) -> list[Finding]:
+    """Severity-ranked, then stable by rule id and op name."""
+    return sorted(
+        findings, key=lambda f: (severity_rank(f.severity), f.rule, f.op or "")
+    )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All findings of one linted plan, severity-ranked."""
+
+    plan_label: str  # "System/model on graph"
+    findings: tuple[Finding, ...] = ()
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == "warning")
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings do not fail a plan)."""
+        return not self.errors
+
+    def render(self) -> str:
+        if not self.findings:
+            return f"{self.plan_label}: clean"
+        head = (
+            f"{self.plan_label}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+        lines = [head]
+        lines.extend("  " + f.render() for f in self.findings)
+        return "\n".join(lines)
+
+
+class PlanLintError(RuntimeError):
+    """Raised by the ``lint="strict"`` run gate on error-severity findings."""
+
+    def __init__(self, report: LintReport) -> None:
+        super().__init__(report.render())
+        self.report = report

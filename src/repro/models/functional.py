@@ -88,7 +88,7 @@ def _reduceat(ufunc, values: np.ndarray, indptr: np.ndarray, empty: float) -> np
     indptr = np.asarray(indptr, dtype=np.int64)
     n = len(indptr) - 1
     lengths = np.diff(indptr)
-    out_shape = (n,) + values.shape[1:]
+    out_shape = (n, *values.shape[1:])
     if values.shape[0] == 0:
         return np.full(out_shape, empty, dtype=values.dtype)
     starts = indptr[:-1]
@@ -111,7 +111,7 @@ def segment_mean(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     """Mean over CSR segments; empty segments yield zero."""
     counts = np.diff(indptr).astype(np.float64)
     s = segment_sum(values.astype(np.float64), indptr)
-    denom = np.maximum(counts, 1.0).reshape((-1,) + (1,) * (values.ndim - 1))
+    denom = np.maximum(counts, 1.0).reshape((-1, *([1] * (values.ndim - 1))))
     return (s / denom).astype(values.dtype, copy=False)
 
 

@@ -61,7 +61,7 @@ def build_timeline(
     cursor_us = 0.0
     dropped = 0
     cycles_to_us = 1e6 / spec.clock_hz
-    for stats, timing in zip(report.stats.kernels, report.timing.kernels):
+    for stats, timing in zip(report.stats.kernels, report.timing.kernels, strict=True):
         dur_us = timing.gpu_seconds * 1e6
         events.append(
             {

@@ -19,6 +19,7 @@ import numpy as np
 from ..gpusim.config import GPUSpec
 from ..gpusim.kernel import KernelStats
 from ..gpusim.scheduler import ScheduleResult
+from ..lint.effects import KernelEffects
 from ..models.convspec import ConvWorkload
 from ..obs.tracer import span
 
@@ -52,6 +53,16 @@ class KernelOp:
     balance: str | None = None
     #: whether this op fuses what the baseline runs as multiple launches
     fused: bool = False
+    #: declared effect table (buffers read/written/atomically merged +
+    #: launch envelope); conv ops auto-populate from the kernel, modeled
+    #: ops must declare explicitly — the lint analyses consume this
+    effects: KernelEffects | None = None
+
+    def __post_init__(self) -> None:
+        if self.effects is None and self.kind == "conv" and self.workload is not None:
+            declare = getattr(self.kernel, "effects", None)
+            if callable(declare):
+                object.__setattr__(self, "effects", declare(self.workload))
 
     def analyze(self, spec: GPUSpec) -> tuple[KernelStats, ScheduleResult]:
         """Produce this op's counters + schedule for ``spec``."""
@@ -154,6 +165,8 @@ class ExecutionPlan:
             if op.fused:
                 attrs.append("fused")
             lines.append(f"  [{i}] {op.name} ({', '.join(attrs)})")
+            if op.effects is not None:
+                lines.append(f"        {op.effects.summary()}")
         if self.dispatch_seconds:
             lines.append(
                 f"  + framework dispatch "

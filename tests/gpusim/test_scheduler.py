@@ -73,7 +73,8 @@ class TestHardwareSchedule:
         r = hardware_schedule(cycles, self._launch(4), V100)
         assert r.makespan_cycles >= 1000.0
 
-    def test_busy_cycles_sum(self, rng=np.random.default_rng(2)):
+    def test_busy_cycles_sum(self):
+        rng = np.random.default_rng(2)
         cycles = rng.uniform(1, 100, size=1000)
         r = hardware_schedule(cycles, self._launch(), V100)
         assert r.busy_warp_cycles == pytest.approx(cycles.sum())

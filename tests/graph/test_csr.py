@@ -207,6 +207,6 @@ def test_from_edge_list_property(edges):
     dst = [e[1] for e in edges]
     g = from_edge_list(src, dst, 20)
     assert g.num_edges == len(edges)
-    got = sorted(zip(g.edge_list()[0].tolist(), g.edge_list()[1].tolist()))
-    assert got == sorted(zip(src, dst))
+    got = sorted(zip(g.edge_list()[0].tolist(), g.edge_list()[1].tolist(), strict=True))
+    assert got == sorted(zip(src, dst, strict=True))
     assert np.all(np.diff(g.indptr) >= 0)

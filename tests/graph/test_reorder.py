@@ -44,8 +44,8 @@ class TestDegreeSort:
         r = degree_sort(tiny_graph)
         src, dst = tiny_graph.edge_list()
         psrc, pdst = r.graph.edge_list()
-        orig = sorted(zip(r.perm[src].tolist(), r.perm[dst].tolist()))
-        assert orig == sorted(zip(psrc.tolist(), pdst.tolist()))
+        orig = sorted(zip(r.perm[src].tolist(), r.perm[dst].tolist(), strict=True))
+        assert orig == sorted(zip(psrc.tolist(), pdst.tolist(), strict=True))
 
 
 class TestBFS:

@@ -1,0 +1,92 @@
+"""CLI coverage: ``repro lint`` (incl. --strict exit codes) and ``repro
+plan --lint``."""
+
+import io
+from dataclasses import replace
+
+import pytest
+
+from repro import cli
+from repro.frameworks.tlpgnn_engine import TLPGNNEngine
+from repro.lint.effects import BufferEffect, KernelEffects, LaunchEnvelope
+
+ARGS = ["--max-edges", "60000"]
+
+_BAD = KernelEffects(
+    buffers=(BufferEffect("out", "write", exclusive=False),),
+    launch=LaunchEnvelope(threads_per_block=128),
+)
+
+
+class _BrokenSystem(TLPGNNEngine):
+    name = "Broken"
+
+    def _lower(self, *args, **kwargs):
+        plan = super()._lower(*args, **kwargs)
+        plan.ops = [replace(op, effects=_BAD) for op in plan.ops]
+        return plan
+
+
+def _run(argv):
+    out = io.StringIO()
+    rc = cli.main([*ARGS, *argv], out=out)
+    return rc, out.getvalue()
+
+
+def test_lint_clean_cell_exits_zero():
+    rc, text = _run(["lint", "--system", "TLPGNN",
+                     "--model", "gcn", "--dataset", "CR", "--strict"])
+    assert rc == 0
+    assert "TLPGNN/gcn on CR: clean" in text
+    assert "0 error(s)" in text
+
+
+def test_lint_default_grid_reports_baseline_warnings():
+    rc, text = _run(["lint", "--dataset", "CR"])
+    assert rc == 0  # warnings never fail the run, even under --strict
+    assert "DET001" in text
+    assert "spmm_coo_atomic" in text
+
+
+def test_lint_strict_exits_one_on_misdeclared_kernel(monkeypatch):
+    monkeypatch.setitem(cli.SYSTEMS, "Broken", _BrokenSystem)
+    rc, text = _run(["lint", "--system", "Broken",
+                     "--model", "gcn", "--dataset", "CR", "--strict"])
+    assert rc == 1
+    assert "HAZ002" in text
+
+
+def test_lint_without_strict_reports_but_exits_zero(monkeypatch):
+    monkeypatch.setitem(cli.SYSTEMS, "Broken", _BrokenSystem)
+    rc, text = _run(["lint", "--system", "Broken",
+                     "--model", "gcn", "--dataset", "CR"])
+    assert rc == 0
+    assert "HAZ002" in text
+
+
+def test_lint_marks_unsupported_cells_as_dashes():
+    rc, text = _run(["lint", "--system", "GNNAdvisor",
+                     "--model", "gat", "--dataset", "CR", "--strict"])
+    assert rc == 0
+    assert "GNNAdvisor/gat on CR: - (UnsupportedModelError)" in text
+
+
+def test_plan_lint_flag_appends_report():
+    rc, text = _run(["plan", "CR", "gcn", "--system", "TLPGNN", "--lint"])
+    assert rc == 0
+    assert "lint: TLPGNN/gcn on CR: clean" in text
+    # effect summaries ride along in describe() (GCN streams its norm
+    # weights as edge_vals)
+    assert "reads indptr,indices,feat,edge_vals -> writes out" in text
+
+
+def test_plan_without_lint_flag_omits_report():
+    rc, text = _run(["plan", "CR", "gcn", "--system", "TLPGNN"])
+    assert rc == 0
+    assert "lint:" not in text
+
+
+@pytest.mark.parametrize("argv", [["lint", "--system", "Nope"]])
+def test_lint_rejects_unknown_system(argv):
+    with pytest.raises(SystemExit):
+        _run(argv)

@@ -1,0 +1,117 @@
+"""Declared effect tables must agree with the counter model and micro-sim.
+
+``cross_validate_effects`` triangulates three independent sources for the
+atomic-operation count of every ConvKernel: the declarative effect table,
+the vectorized counter model (``analyze``), and — where the kernel has a
+warp-by-warp ``trace`` — the exact micro-simulator.  A kernel that lies
+about its atomics must be caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import power_law
+from repro.kernels.edge_centric import EdgeCentricKernel
+from repro.kernels.edge_parallel_warp import EdgeParallelWarpKernel
+from repro.kernels.neighbor_group import NeighborGroupKernel
+from repro.kernels.pull_cta import PullCTAKernel
+from repro.kernels.pull_thread import PullThreadKernel
+from repro.kernels.push import PushKernel
+from repro.kernels.tlpgnn import TLPGNNKernel
+from repro.lint.effects import (
+    LaunchEnvelope,
+    conv_read_buffers,
+    cross_validate_effects,
+    effect_table,
+)
+from repro.models import build_conv
+from repro.models.convspec import ConvWorkload
+
+KERNELS = [
+    TLPGNNKernel(),
+    TLPGNNKernel(assignment="hardware"),
+    PushKernel(),
+    EdgeCentricKernel(),
+    NeighborGroupKernel(group_size=3),
+    NeighborGroupKernel(group_size=8),
+    PullThreadKernel(),
+    PullCTAKernel(),
+    EdgeParallelWarpKernel(),
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law(24, 72, seed=2)
+
+
+def _workloads(graph):
+    rng = np.random.default_rng(5)
+    X = rng.standard_normal((graph.num_vertices, 8)).astype(np.float32)
+    plain = ConvWorkload(graph=graph, X=X, reduce="sum")
+    weighted = ConvWorkload(
+        graph=graph,
+        X=X,
+        edge_weights=rng.random(graph.num_edges).astype(np.float32),
+        reduce="sum",
+    )
+    return {"plain": plain, "weighted": weighted}
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+@pytest.mark.parametrize("which", ["plain", "weighted"])
+def test_declared_effects_match_models(kernel, which, graph):
+    workload = _workloads(graph)[which]
+    if not kernel.supports(workload):
+        pytest.skip(f"{kernel.name} does not support this workload")
+    assert cross_validate_effects(kernel, workload) == []
+
+
+def test_tlpgnn_attention_effects_match(graph):
+    rng = np.random.default_rng(9)
+    X = rng.standard_normal((graph.num_vertices, 8)).astype(np.float32)
+    workload = build_conv("gat", graph, X, rng=rng)
+    kernel = TLPGNNKernel()
+    assert kernel.supports(workload)
+    eff = kernel.effects(workload)
+    assert "att" in eff.reads  # the fused GAT path streams the logits
+    assert cross_validate_effects(kernel, workload) == []
+
+
+def test_attention_workload_reads_att_buffer(graph):
+    rng = np.random.default_rng(9)
+    X = rng.standard_normal((graph.num_vertices, 8)).astype(np.float32)
+    gat = build_conv("gat", graph, X, rng=rng)
+    assert conv_read_buffers(gat) == ("indptr", "indices", "feat", "att")
+    weighted = _workloads(graph)["weighted"]
+    assert conv_read_buffers(weighted) == (
+        "indptr", "indices", "feat", "edge_vals",
+    )
+
+
+class _LyingPushKernel(PushKernel):
+    """Push kernel whose declaration hides its atomic merge."""
+
+    def effects(self, workload):
+        return effect_table(
+            reads=conv_read_buffers(workload),
+            writes=("out",),
+            launch=LaunchEnvelope(threads_per_block=128),
+        )
+
+
+def test_misdeclared_kernel_is_caught(graph):
+    workload = _workloads(graph)["plain"]
+    problems = cross_validate_effects(_LyingPushKernel(), workload)
+    # the declaration disagrees with both the counter model and the trace
+    assert len(problems) >= 2
+    assert any("counter-model" in p for p in problems)
+
+
+def test_undeclared_kernel_is_reported(graph):
+    class Bare(PushKernel):
+        def effects(self, workload):
+            return None
+
+    problems = cross_validate_effects(Bare(), _workloads(graph)["plain"])
+    assert problems and "no effect table" in problems[0]

@@ -1,0 +1,47 @@
+"""Property: lint verdicts are invariant under vertex reordering.
+
+Every quantity the analyses consume — edge counts, degree-group counts,
+launch envelopes, buffer names — is permutation-invariant, so relabeling
+the graph must never change which (rule, severity, op) verdicts a system's
+plan receives.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frameworks import SYSTEMS
+from repro.gpusim.config import V100
+from repro.graph.generators import power_law
+from repro.lint import lint_plan
+
+N = 20
+GRAPH = power_law(N, 60, seed=11)
+X = np.random.default_rng(1).standard_normal((N, 8)).astype(np.float32)
+
+CELLS = [
+    ("TLPGNN", "gcn"),
+    ("TLPGNN", "gat"),
+    ("DGL", "gcn"),
+    ("DGL", "gat"),
+    ("GNNAdvisor", "gcn"),
+    ("FeatGraph", "gat"),
+]
+
+
+def _verdicts(system_name, model, graph, feats):
+    plan = SYSTEMS[system_name]().lower(model, graph, feats, V100)
+    report = lint_plan(plan, V100)
+    return {(f.rule, f.severity, f.op) for f in report.findings}
+
+
+@pytest.mark.parametrize("system_name,model", CELLS)
+@settings(max_examples=15, deadline=None)
+@given(perm=st.permutations(range(N)))
+def test_lint_verdicts_survive_vertex_relabeling(system_name, model, perm):
+    perm = np.asarray(perm, dtype=np.int64)
+    base = _verdicts(system_name, model, GRAPH, X)
+    Xp = np.empty_like(X)
+    Xp[perm] = X  # feature row of old vertex v moves to new id perm[v]
+    assert _verdicts(system_name, model, GRAPH.permute(perm), Xp) == base

@@ -28,12 +28,8 @@ def naive_conv(workload) -> np.ndarray:
         lo, hi = g.indptr[u], g.indptr[u + 1]
         msgs = [w[i] * X[g.indices[i]] for i in range(lo, hi)]
         if msgs:
-            if workload.reduce == "sum":
-                out[u] = np.sum(msgs, axis=0)
-            elif workload.reduce == "mean":
-                out[u] = np.mean(msgs, axis=0)
-            else:
-                out[u] = np.max(msgs, axis=0)
+            reduce_fn = {"sum": np.sum, "mean": np.mean, "max": np.max}
+            out[u] = reduce_fn[workload.reduce](msgs, axis=0)
         if workload.self_coeff is not None:
             out[u] += workload.self_coeff[u] * X[u]
     return out.astype(np.float32)

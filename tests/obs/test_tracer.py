@@ -42,19 +42,16 @@ class TestNesting:
         assert [s.name for s in tracer.roots] == ["first", "second"]
 
     def test_wall_time_is_positive_and_nested(self, tracer):
-        with span("outer") as outer:
-            with span("inner") as inner:
-                pass
+        with span("outer") as outer, span("inner") as inner:
+            pass
         assert outer.closed and inner.closed
         assert outer.wall_seconds >= inner.wall_seconds >= 0.0
         assert outer.start_s <= inner.start_s
         assert inner.end_s <= outer.end_s
 
     def test_spans_close_under_exceptions(self, tracer):
-        with pytest.raises(ValueError):
-            with span("outer"):
-                with span("inner"):
-                    raise ValueError("boom")
+        with pytest.raises(ValueError), span("outer"), span("inner"):
+            raise ValueError("boom")
         outer, = tracer.roots
         inner, = outer.children
         assert outer.closed and inner.closed
@@ -118,17 +115,15 @@ class TestChromeExport:
         return json.loads(json.dumps(events))
 
     def test_required_keys_present(self, tracer):
-        with span("outer", system="TLPGNN"):
-            with span("inner"):
-                pass
+        with span("outer", system="TLPGNN"), span("inner"):
+            pass
         for ev in self._events(tracer):
             for key in ("ph", "ts", "pid", "tid", "name"):
                 assert key in ev, f"{ev} missing {key}"
 
     def test_complete_events_and_durations(self, tracer):
-        with span("outer"):
-            with span("inner"):
-                pass
+        with span("outer"), span("inner"):
+            pass
         events = [e for e in self._events(tracer) if e["ph"] == "X"]
         assert [e["name"] for e in events] == ["outer", "inner"]
         outer, inner = events

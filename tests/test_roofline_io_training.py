@@ -137,10 +137,11 @@ class TestTraining:
             Wp, Wm = W.copy(), W.copy()
             Wp[idx] += eps
             Wm[idx] -= eps
-            if which == 1:
-                num = (loss_at(Wp, model.w2) - loss_at(Wm, model.w2)) / (2 * eps)
-            else:
-                num = (loss_at(model.w1, Wp) - loss_at(model.w1, Wm)) / (2 * eps)
+            num = (
+                (loss_at(Wp, model.w2) - loss_at(Wm, model.w2)) / (2 * eps)
+                if which == 1
+                else (loss_at(model.w1, Wp) - loss_at(model.w1, Wm)) / (2 * eps)
+            )
             assert dW[idx] == pytest.approx(num, rel=1e-4, abs=1e-7)
 
     def test_loss_decreases(self, rng):
@@ -193,8 +194,8 @@ class TestNetworkXBridge:
         # parallel edges collapse in NetworkX; compare unique edge sets
         import numpy as np
 
-        ours = set(zip(*map(lambda a: a.tolist(), small_random.edge_list())))
-        theirs = set(zip(*map(lambda a: a.tolist(), back.edge_list())))
+        ours = set(zip(*map(lambda a: a.tolist(), small_random.edge_list()), strict=True))
+        theirs = set(zip(*map(lambda a: a.tolist(), back.edge_list()), strict=True))
         assert ours == theirs
 
     def test_undirected_symmetrized(self):
