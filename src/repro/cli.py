@@ -20,8 +20,12 @@ plan                lower one (dataset, model) cell and print each
                     system's ExecutionPlan (kernel list, balance choice,
                     fusion structure, content fingerprint)
 lint                statically analyze lowered plans for hazards, resource
-                    limits, and nondeterminism sources (no execution);
-                    --strict exits 1 on error-severity findings
+                    limits, nondeterminism sources, and memory-access
+                    patterns (coalescing / divergence / bounds — no
+                    execution); --json emits a stable finding array,
+                    --baseline suppresses known findings, --explain CODE
+                    documents one rule; --strict exits 1 on error-severity
+                    findings (with --baseline: on any unsuppressed finding)
 """
 
 from __future__ import annotations
@@ -144,7 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="append the static lint report to each plan")
 
     li = sub.add_parser(
-        "lint", help="static hazard/resource/determinism analysis of plans"
+        "lint",
+        help="static hazard/resource/determinism/access analysis of plans",
     )
     li.add_argument("--system", choices=sorted(SYSTEMS), default=None,
                     help="limit to one system (default: all four)")
@@ -154,7 +159,21 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("--dataset", action="append", default=None,
                     help="dataset abbreviation(s) (default: CR CS PD)")
     li.add_argument("--strict", action="store_true",
-                    help="exit 1 if any error-severity finding is reported")
+                    help="exit 1 on error-severity findings; with "
+                    "--baseline, on ANY finding the baseline does not "
+                    "already record")
+    li.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit the findings as a stable JSON array "
+                    "(plan/code/severity/op/buffer/message) instead of text")
+    li.add_argument("--baseline", default=None, metavar="FILE",
+                    help="suppress findings recorded in this baseline JSON "
+                    "(keyed plan/code/op/buffer)")
+    li.add_argument("--write-baseline", default=None, metavar="FILE",
+                    help="record every finding of this run into FILE as a "
+                    "baseline for --baseline")
+    li.add_argument("--explain", default=None, metavar="CODE",
+                    help="print the registry entry for one finding code "
+                    "(e.g. ACC002) and exit")
     return p
 
 
@@ -465,16 +484,58 @@ def cmd_plan(args: argparse.Namespace, out) -> int:
     return 0 if lowered else 1
 
 
+def _load_baseline(path: str) -> set[tuple[str, str, str, str]]:
+    """Known-finding keys of a lint baseline file (see --write-baseline)."""
+    import json
+
+    with open(path) as fh:
+        data = json.load(fh)
+    return {
+        (
+            entry.get("plan", ""),
+            entry.get("code", ""),
+            entry.get("op", ""),
+            entry.get("buffer", ""),
+        )
+        for entry in data.get("findings", ())
+    }
+
+
 def cmd_lint(args: argparse.Namespace, out) -> int:
     """Statically lint the lowered plans of a grid of cells (no execution)."""
+    import json
+
     from .frameworks.base import CapacityError, UnsupportedModelError
     from .lint import lint_plan
+    from .lint.report import LintReport
+
+    if args.explain:
+        from .lint import explain
+
+        try:
+            print(explain(args.explain.upper()), file=out)
+        except KeyError:
+            print(f"unknown finding code: {args.explain}", file=out)
+            return 2
+        return 0
+
+    baseline_keys: set[tuple[str, str, str, str]] = set()
+    if args.baseline:
+        try:
+            baseline_keys = _load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=out)
+            return 2
 
     config = _config(args)
     systems = [args.system] if args.system else sorted(SYSTEMS)
     models = args.model or ["gcn", "gat"]
     datasets = args.dataset or ["CR", "CS", "PD"]
-    errors = warnings_ = cells = 0
+    errors = warnings_ = cells = suppressed = kept_total = 0
+    kept_rows: list[dict] = []  # unsuppressed findings, grid-stable order
+    all_rows: list[dict] = []  # every finding (what --write-baseline records)
+    text: list[str] = []
     for ds_name in datasets:
         dataset = get_dataset(ds_name, config)
         X = make_features(
@@ -486,23 +547,72 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
                 try:
                     plan = SYSTEMS[name]().lower(model, dataset, X, spec)
                 except (UnsupportedModelError, CapacityError) as exc:
-                    print(
+                    text.append(
                         f"{name}/{model} on {ds_name}: - "
-                        f"({type(exc).__name__})",
-                        file=out,
+                        f"({type(exc).__name__})"
                     )
                     continue
                 report = lint_plan(plan, spec)
-                print(report.render(), file=out)
                 cells += 1
-                errors += len(report.errors)
-                warnings_ += len(report.warnings)
-    print(
-        f"\nlinted {cells} plan(s): {errors} error(s), "
-        f"{warnings_} warning(s)",
-        file=out,
-    )
-    return 1 if (args.strict and errors) else 0
+                kept = []
+                for f in report.findings:
+                    row = {
+                        "plan": report.plan_label,
+                        "code": f.rule,
+                        "severity": f.severity,
+                        "op": f.op or "",
+                        "buffer": f.buffer or "",
+                        "message": f.message,
+                    }
+                    all_rows.append(row)
+                    if (report.plan_label, *f.key()) in baseline_keys:
+                        suppressed += 1
+                        continue
+                    kept.append(f)
+                    kept_rows.append(row)
+                kept_total += len(kept)
+                errors += sum(f.severity == "error" for f in kept)
+                warnings_ += sum(f.severity == "warning" for f in kept)
+                text.append(
+                    LintReport(
+                        plan_label=report.plan_label, findings=tuple(kept)
+                    ).render()
+                )
+    if args.write_baseline:
+        baseline = {
+            "version": 1,
+            "findings": [
+                {k: row[k] for k in ("plan", "code", "op", "buffer")}
+                for row in all_rows
+            ],
+        }
+        with open(args.write_baseline, "w") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+        if not args.as_json:
+            text.append(
+                f"wrote {len(baseline['findings'])} finding(s) to "
+                f"{args.write_baseline}"
+            )
+    if args.as_json:
+        # machine mode: the array is the whole output (stable field set)
+        print(json.dumps(kept_rows, indent=2), file=out)
+    else:
+        for line in text:
+            print(line, file=out)
+        summary = (
+            f"\nlinted {cells} plan(s): {errors} error(s), "
+            f"{warnings_} warning(s)"
+        )
+        if args.baseline:
+            summary += f", {suppressed} suppressed by baseline"
+        print(summary, file=out)
+    if args.strict:
+        # a baseline promotes strict mode to "no new findings at all":
+        # the recorded ones are accepted, anything else fails the run
+        failed = kept_total if args.baseline else errors
+        return 1 if failed else 0
+    return 0
 
 
 _COMMANDS = {

@@ -20,6 +20,8 @@ from ..gpusim.warpcost import warp_cycles
 from ..graph.csr import CSRGraph
 from ..kernels.base import feature_row_sectors, index_span_sectors
 from ..kernels.fusion import streaming_kernel_stats
+from ..lint import access
+from ..lint.access import KernelAccess
 from ..lint.effects import LaunchEnvelope, effect_table
 from ..models import build_conv
 from ..obs.tracer import span
@@ -167,10 +169,12 @@ class DGLSystem(GNNSystem):
         ops: list[KernelOp] = []
 
         def ew(name, items, *, reads=2.0, writes=1.0, gather=None,
-               rb=(), wb="tmp:x"):
+               rb=(), wb="tmp:x", gb=()):
             # rb/wb: the named buffers of the effect table — the dataflow
             # the hazard lint walks (rb = read buffers, wb = the one buffer
-            # this launch materializes)
+            # this launch materializes).  gb names the rb subset fetched
+            # through per-edge vertex ids rather than streamed — the
+            # gathers the access lint classifies as gather-random (ACC002).
             ops.append(
                 KernelOp(
                     name=name,
@@ -181,6 +185,17 @@ class DGLSystem(GNNSystem):
                     ),
                     effects=effect_table(
                         reads=tuple(rb), writes=(wb,), launch=STREAM_ENVELOPE
+                    ),
+                    access=KernelAccess(
+                        patterns=tuple(
+                            [
+                                access.gather(b, via="indices")
+                                if b in gb
+                                else access.lane_stream(b, row="flat")
+                                for b in rb
+                            ]
+                            + [access.lane_stream(wb, role="write", row="flat")]
+                        )
                     ),
                 )
             )
@@ -197,6 +212,36 @@ class DGLSystem(GNNSystem):
             effects = effect_table(
                 reads=tuple(rb), launch=STREAM_ENVELOPE, **merge
             )
+            if coo_atomic:
+                # rb = (coo pairs, per-edge alphas, dense features): lanes
+                # stream edges, gather source rows through the COO pairs,
+                # and atomically scatter into destination rows — the
+                # ACC002 + ACC004 combination Figure 7 charges DGL's GAT.
+                acc = KernelAccess(
+                    patterns=(
+                        access.lane_stream(rb[0], row="flat"),
+                        access.lane_stream(rb[1], row="flat"),
+                        access.gather(rb[2], via=rb[0]),
+                        access.scatter(wb, via=rb[0], trips=("feat_rounds",)),
+                    )
+                )
+            else:
+                # rb = (indptr, indices, dense features): cuSPARSE's
+                # row-parallel path — warp-uniform indices, lane-coalesced
+                # feature rows, exclusive row writes.
+                acc = KernelAccess(
+                    patterns=(
+                        access.broadcast(rb[0]),
+                        access.broadcast(rb[1], trips=("degree",)),
+                        access.lane_stream(
+                            rb[2], row="indirect", via=rb[1],
+                            trips=("degree", "feat_rounds"),
+                        ),
+                        access.lane_stream(
+                            wb, role="write", trips=("feat_rounds",)
+                        ),
+                    )
+                )
             ops.append(
                 KernelOp(
                     name="spmm_coo_atomic" if coo_atomic else "spmm",
@@ -206,6 +251,7 @@ class DGLSystem(GNNSystem):
                     ),
                     balance="row-parallel" if not coo_atomic else "coo-scatter",
                     effects=effects,
+                    access=acc,
                 )
             )
 
@@ -251,9 +297,9 @@ class DGLSystem(GNNSystem):
             ew("att_dst_proj", n, reads=Fdim, writes=1,
                rb=("feat",), wb="tmp:adst")
             ew("gather_u", E, reads=1, writes=1, gather=(E, att_sec),
-               rb=("tmp:asrc", "indices"), wb="tmp:eu")
+               rb=("tmp:asrc", "indices"), wb="tmp:eu", gb=("tmp:asrc",))
             ew("gather_v", E, reads=1, writes=1, gather=(E, att_sec),
-               rb=("tmp:adst", "indices"), wb="tmp:ev")
+               rb=("tmp:adst", "indices"), wb="tmp:ev", gb=("tmp:adst",))
             ew("edge_add", E, reads=2, writes=1,
                rb=("tmp:eu", "tmp:ev"), wb="tmp:elog")
             ew("leaky_relu", E, reads=1, writes=1,
@@ -262,14 +308,14 @@ class DGLSystem(GNNSystem):
             ew("segment_max", E, reads=1, writes=n / max(E, 1),
                rb=("tmp:ecp", "indptr"), wb="tmp:vmax")
             ew("gather_max", E, reads=1, writes=1, gather=(E, att_sec),
-               rb=("tmp:vmax", "indices"), wb="tmp:emax")
+               rb=("tmp:vmax", "indices"), wb="tmp:emax", gb=("tmp:vmax",))
             ew("sub", E, reads=2, writes=1,
                rb=("tmp:elr", "tmp:emax"), wb="tmp:esub")
             ew("exp", E, reads=1, writes=1, rb=("tmp:esub",), wb="tmp:eexp")
             ew("segment_sum", E, reads=1, writes=n / max(E, 1),
                rb=("tmp:eexp", "indptr"), wb="tmp:vsum")
             ew("gather_sum", E, reads=1, writes=1, gather=(E, att_sec),
-               rb=("tmp:vsum", "indices"), wb="tmp:esum")
+               rb=("tmp:vsum", "indices"), wb="tmp:esum", gb=("tmp:vsum",))
             ew("div", E, reads=2, writes=1,
                rb=("tmp:eexp", "tmp:esum"), wb="tmp:alpha")
             ew("coo2csr", E, reads=2, writes=2,

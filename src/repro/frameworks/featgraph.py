@@ -12,8 +12,13 @@ finalize kernel; GAT lowers to the 3-kernel pipeline of Table 3.
 
 from __future__ import annotations
 
-from ..kernels.fusion import streaming_kernel_stats, three_kernel_gat_stats
+from ..kernels.fusion import (
+    streaming_kernel_stats,
+    three_kernel_gat_access,
+    three_kernel_gat_stats,
+)
 from ..kernels.tlpgnn import TLPGNNKernel
+from ..lint.access import KernelAccess, lane_stream
 from ..lint.effects import LaunchEnvelope, effect_table
 from ..models import build_conv
 from ..obs.tracer import span
@@ -52,8 +57,9 @@ class FeatGraphSystem(GNNSystem):
             # The three stats belong to one TVM lowering: compute them once
             # per analyzed spec and hand each op its slice.
             memo: dict[int, list] = {}
+            gat_access = three_kernel_gat_access(workload)
 
-            def part_of(index, name, *, rb, wb):
+            def part_of(index, name, *, rb, wb, access):
                 def analyze(s):
                     key = id(s)
                     if key not in memo:
@@ -78,16 +84,19 @@ class FeatGraphSystem(GNNSystem):
                             threads_per_block=self.warps_per_block * 32
                         ),
                     ),
+                    access=access,
                 )
 
             ops = [
                 part_of(0, "gat_apply_edge",
-                        rb=("indices", "att"), wb="tmp:logits"),
+                        rb=("indices", "att"), wb="tmp:logits",
+                        access=gat_access["apply_edge"]),
                 part_of(1, "gat_edge_softmax",
-                        rb=("tmp:logits", "indptr"), wb="tmp:alpha"),
+                        rb=("tmp:logits", "indptr"), wb="tmp:alpha",
+                        access=gat_access["softmax"]),
                 part_of(2, "gat_aggregate",
                         rb=("tmp:alpha", "indptr", "indices", "feat"),
-                        wb="out"),
+                        wb="out", access=gat_access["aggregate"]),
             ]
             return ExecutionPlan(
                 system=self.name,
@@ -127,6 +136,13 @@ class FeatGraphSystem(GNNSystem):
                     reads=("out", "feat"),
                     writes=("out",),
                     launch=LaunchEnvelope(threads_per_block=256),
+                ),
+                access=KernelAccess(
+                    patterns=(
+                        lane_stream("out", row="flat"),
+                        lane_stream("feat", row="flat"),
+                        lane_stream("out", role="write", row="flat"),
+                    )
                 ),
             ),
         ]

@@ -18,6 +18,7 @@ from ..graph.datasets import Dataset
 from ..graph.reorder import degree_sort
 from ..kernels.fusion import streaming_kernel_stats
 from ..kernels.neighbor_group import NeighborGroupKernel, build_groups
+from ..lint.access import KernelAccess, lane_stream
 from ..lint.effects import LaunchEnvelope, effect_table
 from ..models import build_conv
 from ..obs.tracer import span
@@ -99,6 +100,13 @@ class GNNAdvisorSystem(GNNSystem):
                     reads=("out", "feat"),
                     writes=("out",),
                     launch=LaunchEnvelope(threads_per_block=256),
+                ),
+                access=KernelAccess(
+                    patterns=(
+                        lane_stream("out", row="flat"),
+                        lane_stream("feat", row="flat"),
+                        lane_stream("out", role="write", row="flat"),
+                    )
                 ),
             ),
         ]

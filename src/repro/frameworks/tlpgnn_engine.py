@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..kernels.edge_centric import EdgeCentricKernel
-from ..kernels.fusion import streaming_kernel_stats
+from ..kernels.fusion import streaming_kernel_stats, three_kernel_gat_access
 from ..kernels.tlpgnn import TLPGNNKernel
 from ..lint.effects import LaunchEnvelope, effect_table
 from ..models import build_conv
@@ -106,6 +106,8 @@ class TLPGNNEngine(GNNSystem):
                 ).astype(np.float64)
                 alphas = segment_softmax(logits, g.indptr).astype(np.float32)
                 att_sec = -(-4 * g.num_vertices // 32)
+                # the softmax materializes the aggregation's edge_vals input
+                gat_access = three_kernel_gat_access(workload, alpha="edge_vals")
                 ops.append(
                     KernelOp(
                         name="apply_edge_logits",
@@ -128,6 +130,7 @@ class TLPGNNEngine(GNNSystem):
                             writes=("tmp:logits",),
                             launch=LaunchEnvelope(threads_per_block=256),
                         ),
+                        access=gat_access["apply_edge"],
                     )
                 )
                 ops.append(
@@ -150,6 +153,7 @@ class TLPGNNEngine(GNNSystem):
                             writes=("edge_vals",),
                             launch=LaunchEnvelope(threads_per_block=256),
                         ),
+                        access=gat_access["softmax"],
                     )
                 )
                 workload = ConvWorkload(

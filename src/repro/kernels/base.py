@@ -26,6 +26,7 @@ from ..gpusim.costmodel import KernelTiming
 from ..gpusim.kernel import KernelStats, LaunchConfig
 from ..gpusim.microsim import AddressMap, MicroSim
 from ..gpusim.scheduler import ScheduleResult
+from ..lint.access import KernelAccess
 from ..lint.effects import KernelEffects
 from ..models.convspec import ConvWorkload, reference_aggregate
 from ..obs.tracer import span
@@ -110,6 +111,13 @@ class ConvKernel(ABC):
         envelope; see :mod:`repro.lint.effects`).  ``None`` means the
         kernel declares nothing — the hazard lint flags that as an error,
         so every concrete kernel overrides this."""
+        return None
+
+    def access_patterns(self, workload: ConvWorkload) -> KernelAccess | None:
+        """Declared symbolic access table for ``workload`` (per-buffer
+        lane/iter expressions; see :mod:`repro.lint.access`).  ``None``
+        means the kernel declares nothing — the access lint flags that as
+        an ACC001 error, so every concrete kernel overrides this."""
         return None
 
     def supports(self, workload: ConvWorkload) -> bool:

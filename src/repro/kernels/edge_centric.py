@@ -19,6 +19,7 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
+from ..lint.access import broadcast, conv_access, lane_stream, scatter
 from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import ConvKernel, feature_row_sectors, feature_rounds, make_amap
@@ -51,6 +52,22 @@ class EdgeCentricKernel(ConvKernel):
             atomic_ops=g.num_edges * workload.feat_dim,
             launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
         )
+
+    def access_patterns(self, workload: ConvWorkload):
+        # COO streaming: ids and rows are lane-coalesced per edge, but the
+        # destination row of every atomic is indirected — the chunk's edges
+        # scatter over arbitrary output rows (ACC004, Observation I).
+        pats = [
+            broadcast("indices", trips=("chunk",)),
+            lane_stream(
+                "feat", row="indirect", via="indices",
+                trips=("chunk", "feat_rounds"),
+            ),
+            scatter("out", via="indices", trips=("chunk", "feat_rounds")),
+        ]
+        if workload.edge_weights is not None:
+            pats.append(broadcast("edge_vals", trips=("chunk",)))
+        return conv_access(workload, *pats)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

@@ -22,6 +22,14 @@ from ..gpusim.memory import cached_dram_sectors, scattered_rows_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
+from ..lint.access import (
+    Affine,
+    AccessPattern,
+    broadcast,
+    conv_access,
+    gather,
+    lane_stream,
+)
 from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import ConvKernel, feature_row_sectors, index_span_sectors, make_amap
@@ -52,6 +60,24 @@ class EdgeParallelWarpKernel(ConvKernel):
             writes=("out",),
             launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
         )
+
+    def access_patterns(self, workload: ConvWorkload):
+        # Feature-then-edge order: the edge-id tile is a consecutive-lane
+        # stream, but every feature load puts 32 *different* source rows on
+        # the lanes (ACC002 — Figure 5(a)'s uncoalesced case), and tail
+        # tiles mask lanes on every low-degree vertex (DIV002).
+        pats = [
+            broadcast("indptr"),
+            AccessPattern("indices", row="flat", col=Affine(lane=1),
+                          trips=("degree", "edge_tiles")),
+            gather("feat", via="indices", trips=("degree", "edge_tiles", "dims")),
+            lane_stream("out", role="write", trips=("feat_rounds",)),
+        ]
+        if workload.edge_weights is not None:
+            pats.append(AccessPattern("edge_vals", row="flat",
+                                      col=Affine(lane=1),
+                                      trips=("degree", "edge_tiles")))
+        return conv_access(workload, *pats)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)
@@ -133,6 +159,8 @@ class EdgeParallelWarpKernel(ConvKernel):
             sim.issue(6)
             for t0 in range(start, end, 32):
                 idx = np.arange(t0, min(t0 + 32, end))
+                # tail tiles leave lanes without an edge for every dim
+                sim.diverge((32 - len(idx)) * F)
                 sim.warp_load(amap.indices_addr(idx))
                 if e_s:
                     sim.warp_load(amap.edge_val_addr(idx))

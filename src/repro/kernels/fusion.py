@@ -25,12 +25,20 @@ from ..gpusim.kernel import KernelStats, LaunchConfig, PipelineStats
 from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.scheduler import ScheduleResult, hardware_schedule, static_schedule
 from ..gpusim.warpcost import warp_cycles
+from ..lint.access import (
+    KernelAccess,
+    broadcast,
+    conv_access,
+    gather,
+    lane_stream,
+)
 from ..models.convspec import ConvWorkload, reference_aggregate
 from .base import feature_row_sectors, index_span_sectors, make_amap
 
 __all__ = [
     "streaming_kernel_stats",
     "three_kernel_gat",
+    "three_kernel_gat_access",
     "three_kernel_gat_stats",
     "gat_edge_pipeline_output",
 ]
@@ -150,6 +158,50 @@ def three_kernel_gat(
         l2_efficiency=l2_efficiency,
     )
     return gat_edge_pipeline_output(workload), pipeline, parts
+
+
+def three_kernel_gat_access(
+    workload: ConvWorkload,
+    *,
+    logits: str = "tmp:logits",
+    alpha: str = "tmp:alpha",
+) -> dict[str, KernelAccess]:
+    """Access tables of the unfused GAT stages, keyed by stage.
+
+    ApplyEdge is the pipeline's uncoalesced step: every edge gathers the
+    two per-vertex attention scalars through ``indices`` (ACC002).  The
+    softmax and the streaming sides stay lane-coalesced; the aggregate
+    re-reads its global accumulator because the unfused pipelines run
+    without register caching.  ``alpha`` names the buffer the softmax
+    materializes (FeatGraph keeps a transient, the unfused TLPGNN path
+    writes the downstream kernel's ``edge_vals``).
+    """
+    E = workload.graph.num_edges
+    apply_edge = conv_access(
+        workload,
+        lane_stream("indices", row="flat", span=E),
+        gather("att", via="indices"),
+        lane_stream(logits, role="write", row="flat", span=E),
+    )
+    softmax = conv_access(
+        workload,
+        lane_stream(logits, row="flat", span=E),
+        broadcast("indptr"),
+        lane_stream(alpha, role="write", row="flat", span=E),
+    )
+    aggregate = conv_access(
+        workload,
+        broadcast("indptr"),
+        broadcast("indices", trips=("degree",)),
+        broadcast(alpha, trips=("degree",)),
+        lane_stream(
+            "feat", row="indirect", via="indices",
+            trips=("degree", "feat_rounds"),
+        ),
+        lane_stream("out", trips=("degree", "feat_rounds")),
+        lane_stream("out", role="write", trips=("feat_rounds",)),
+    )
+    return {"apply_edge": apply_edge, "softmax": softmax, "aggregate": aggregate}
 
 
 def three_kernel_gat_stats(

@@ -20,6 +20,7 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
+from ..lint.access import broadcast, conv_access, lane_stream
 from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import (
@@ -88,6 +89,29 @@ class NeighborGroupKernel(ConvKernel):
             atomics=("out",),
             atomic_ops=n_groups * workload.feat_dim,
             launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
+        )
+
+    def access_patterns(self, workload: ConvWorkload):
+        # Feature rows are fetched as two half-warp requests (GNNAdvisor's
+        # dimension tiling): each half is still a consecutive-lane stream.
+        # The atomic merge targets the group's *own* vertex row — warp
+        # collisions, but no indirected scatter (Figure 8, not Figure 7).
+        d = workload.graph.in_degrees.astype(np.int64)
+        n_groups = int(np.sum(d // self.group_size + (d % self.group_size > 0)))
+        pats = [
+            broadcast("group_table"),
+            broadcast("indptr"),
+            broadcast("indices", trips=("degree",)),
+            lane_stream(
+                "feat", row="indirect", via="indices", lanes=16,
+                trips=("degree", "feat_rounds"),
+            ),
+            lane_stream("out", role="atomic", trips=("feat_rounds",)),
+        ]
+        if workload.edge_weights is not None:
+            pats.append(broadcast("edge_vals", trips=("degree",)))
+        return conv_access(
+            workload, *pats, extra_shapes={"group_table": (max(n_groups, 1), 3)}
         )
 
     def run(self, workload: ConvWorkload) -> np.ndarray:

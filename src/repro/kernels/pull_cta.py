@@ -23,6 +23,7 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult, hardware_schedule
 from ..gpusim.warpcost import warp_cycles
+from ..lint.access import broadcast, conv_access, lane_stream
 from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import (
@@ -63,6 +64,24 @@ class PullCTAKernel(ConvKernel):
                 shared_mem_per_block=smem,
             ),
         )
+
+    def access_patterns(self, workload: ConvWorkload):
+        # CTA-per-vertex keeps TLPGNN's coalescing (feature dims on the
+        # lanes, warp-uniform indices) — its costs are synchronization and
+        # wasted blocks, which the resource/cost models account, not the
+        # access shape.
+        pats = [
+            broadcast("indptr"),
+            broadcast("indices", trips=("degree",)),
+            lane_stream(
+                "feat", row="indirect", via="indices",
+                trips=("degree", "feat_rounds"),
+            ),
+            lane_stream("out", role="write", trips=("feat_rounds",)),
+        ]
+        if workload.edge_weights is not None:
+            pats.append(broadcast("edge_vals", trips=("degree",)))
+        return conv_access(workload, *pats)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

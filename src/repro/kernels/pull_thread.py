@@ -17,6 +17,7 @@ from ..gpusim.memory import cached_dram_sectors, scattered_rows_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
+from ..lint.access import Affine, AccessPattern, conv_access, gather
 from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import ConvKernel, feature_row_sectors, index_span_sectors, make_amap
@@ -40,6 +41,25 @@ class PullThreadKernel(ConvKernel):
             writes=("out",),
             launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
         )
+
+    def access_patterns(self, workload: ConvWorkload):
+        # The Figure 3a anti-pattern, symbolically: each lane walks its own
+        # edge list (per-lane degree trips → DIV001), gathers rows lane by
+        # lane (ACC002), and writes its own row at a row-pitch stride
+        # (ACC003).  Only the indptr bounds load is coalesced.
+        pats = [
+            AccessPattern("indptr", col=Affine(lane=1), row="flat"),
+            gather("indices", row="flat", via=None,
+                   trips=("degree",), per="lane"),
+            gather("feat", via="indices", trips=("degree", "dims"),
+                   per="lane"),
+            AccessPattern("out", role="write", row="lane_unit",
+                          col=Affine(iter=1), trips=("dims",)),
+        ]
+        if workload.edge_weights is not None:
+            pats.append(gather("edge_vals", row="flat", via=None,
+                               trips=("degree",), per="lane"))
+        return conv_access(workload, *pats)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

@@ -18,6 +18,7 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
+from ..lint.access import broadcast, conv_access, lane_stream, scatter
 from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
 from .base import (
@@ -55,6 +56,22 @@ class PushKernel(ConvKernel):
             atomic_ops=g.num_edges * workload.feat_dim,
             launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
         )
+
+    def access_patterns(self, workload: ConvWorkload):
+        # Lane-level traffic is as coalesced as TLPGNN's (own row reads,
+        # consecutive-lane rounds) — the scatter damage is at the *row*
+        # level: every edge atomically targets an indirected destination
+        # row, so units collide (ACC004) where warp-per-vertex cannot.
+        pats = [
+            broadcast("indptr"),
+            broadcast("indices", trips=("degree",)),
+            lane_stream("feat", trips=("feat_rounds",)),
+            lane_stream("out", role="write", trips=("feat_rounds",)),
+            scatter("out", via="indices", trips=("degree", "feat_rounds")),
+        ]
+        if workload.edge_weights is not None:
+            pats.append(broadcast("edge_vals", trips=("degree",)))
+        return conv_access(workload, *pats)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         # Scatter over out-edges computes the same sums as the gather

@@ -28,6 +28,7 @@ from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
 from ..models.convspec import ConvWorkload
+from ..lint.access import broadcast, conv_access, lane_stream
 from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from .base import (
     ConvKernel,
@@ -147,6 +148,33 @@ class TLPGNNKernel(ConvKernel):
             writes=("out",),
             launch=LaunchEnvelope(threads_per_block=wpb * 32),
         )
+
+    def access_patterns(self, workload: ConvWorkload):
+        # Level 1: one lane group per vertex — the CSR bounds and each
+        # neighbour id are warp-uniform broadcasts.  Level 2: feature
+        # dimensions ride the lanes, so every neighbour row and the output
+        # row are consecutive-lane streams (Figure 5's coalescing claim).
+        L = self.group_size
+        pats = [
+            broadcast("indptr"),
+            broadcast("indices", trips=("degree",)),
+            lane_stream(
+                "feat", row="indirect", via="indices", lanes=L,
+                trips=("degree", "feat_rounds"),
+            ),
+            lane_stream("out", role="write", lanes=L, trips=("feat_rounds",)),
+        ]
+        if workload.attention is not None:
+            # per-edge attention scalars gathered warp-uniformly by source id
+            pats.append(broadcast("att", row="indirect", via="indices",
+                                  trips=("degree",)))
+        elif workload.edge_weights is not None:
+            pats.append(broadcast("edge_vals", trips=("degree",)))
+        if not self.register_cache:
+            # write-through accumulator: the own output row re-read per edge
+            pats.append(lane_stream("out", lanes=L,
+                                    trips=("degree", "feat_rounds")))
+        return conv_access(workload, *pats)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         # The warp-serial loop order is a rearrangement of the same sums the

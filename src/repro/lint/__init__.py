@@ -8,12 +8,17 @@ the declarative effect tables every kernel op carries:
 
 * :mod:`~repro.lint.effects` — the effect-table vocabulary and the
   micro-sim cross-validation that keeps declarations honest,
+* :mod:`~repro.lint.access` — the symbolic per-lane access-pattern IR:
+  static coalescing classes, divergence sources, and bounds verification
+  (ACC001 error, ACC002-ACC004 warnings, DIV001/DIV002, OOB001 error),
 * :mod:`~repro.lint.hazards` — def-use races, fusion-boundary RAW
   hazards, plan-cache-unsafe rng reads (HAZ001-HAZ004, errors),
 * :mod:`~repro.lint.resources` — launch envelopes vs GPUSpec limits
   (RES001-RES004 errors, RES005 low-occupancy warning),
 * :mod:`~repro.lint.determinism` — atomic float reductions and rng reads
   as order-nondeterminism warnings (DET001/DET002),
+* :mod:`~repro.lint.registry` — the one finding-code table (code →
+  severity, summary, doc anchor) every analysis constructs through,
 * :mod:`~repro.lint.report` — severity-ranked findings and rendering.
 
 Entry points: :func:`lint_plan` (used by ``python -m repro lint`` and the
@@ -24,6 +29,17 @@ the effect vocabulary from here, and ``lint_plan`` duck-types its plan.
 """
 
 from ..gpusim.config import V100, GPUSpec
+from .access import (
+    COALESCED_SPR_MAX,
+    SECTOR_CLASSES,
+    AccessPattern,
+    Affine,
+    KernelAccess,
+    access_findings,
+    cross_validate_access,
+    op_sector_class,
+    sector_class,
+)
 from .determinism import determinism_findings
 from .effects import (
     TRANSIENT_PREFIX,
@@ -36,6 +52,7 @@ from .effects import (
     is_transient,
 )
 from .hazards import hazard_findings
+from .registry import RULES, RuleInfo, explain, make_finding, rule_info
 from .report import (
     Finding,
     LintReport,
@@ -46,30 +63,45 @@ from .report import (
 from .resources import resource_findings
 
 __all__ = [
+    "COALESCED_SPR_MAX",
+    "RULES",
+    "SECTOR_CLASSES",
+    "AccessPattern",
+    "Affine",
     "BufferEffect",
+    "KernelAccess",
     "KernelEffects",
     "LaunchEnvelope",
+    "RuleInfo",
     "TRANSIENT_PREFIX",
     "Finding",
     "LintReport",
     "PlanLintError",
+    "access_findings",
     "conv_read_buffers",
+    "cross_validate_access",
     "cross_validate_effects",
     "determinism_findings",
     "effect_table",
+    "explain",
     "hazard_findings",
     "is_transient",
     "lint_plan",
+    "make_finding",
+    "op_sector_class",
     "resource_findings",
+    "rule_info",
+    "sector_class",
     "severity_rank",
     "sort_findings",
 ]
 
 
 def lint_plan(plan, spec: GPUSpec = V100) -> LintReport:
-    """Run all three analyses over one lowered plan."""
+    """Run all four analyses over one lowered plan."""
     findings = hazard_findings(plan)
     findings += resource_findings(plan, spec)
     findings += determinism_findings(plan)
+    findings += access_findings(plan)
     label = f"{plan.system}/{plan.model} on {plan.graph_name}"
     return LintReport(plan_label=label, findings=tuple(sort_findings(findings)))

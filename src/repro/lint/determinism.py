@@ -16,6 +16,7 @@ arrival order, which varies run to run — same math, different rounding.
 
 from __future__ import annotations
 
+from .registry import make_finding
 from .report import Finding
 
 __all__ = ["determinism_findings"]
@@ -31,27 +32,22 @@ def determinism_findings(plan) -> list[Finding]:
         for b in eff.buffers:
             if b.mode == "atomic" and b.dtype.startswith("f"):
                 findings.append(
-                    Finding(
-                        severity="warning",
-                        rule="DET001",
-                        message=(
-                            f"atomic float merge into '{b.buffer}' "
-                            f"({eff.atomic_ops} ops): addition order follows "
-                            "hardware arrival order — output is "
-                            "order-nondeterministic"
-                        ),
+                    make_finding(
+                        "DET001",
+                        f"atomic float merge into '{b.buffer}' "
+                        f"({eff.atomic_ops} ops): addition order follows "
+                        "hardware arrival order — output is "
+                        "order-nondeterministic",
                         op=op.name,
+                        buffer=b.buffer,
                     )
                 )
         if eff.reads_rng:
             findings.append(
-                Finding(
-                    severity="warning",
-                    rule="DET002",
-                    message=(
-                        "op consumes host randomness — reproducible only "
-                        "under a caller-pinned generator"
-                    ),
+                make_finding(
+                    "DET002",
+                    "op consumes host randomness — reproducible only "
+                    "under a caller-pinned generator",
                     op=op.name,
                 )
             )

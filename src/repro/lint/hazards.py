@@ -23,6 +23,7 @@ The plan argument is duck-typed (``.ops`` with ``.name``/``.effects``,
 from __future__ import annotations
 
 from .effects import is_transient
+from .registry import make_finding
 from .report import Finding
 
 __all__ = ["hazard_findings"]
@@ -36,13 +37,10 @@ def hazard_findings(plan) -> list[Finding]:
         eff = op.effects
         if eff is None:
             findings.append(
-                Finding(
-                    severity="error",
-                    rule="HAZ001",
-                    message=(
-                        "op declares no effect table; hazard, resource and "
-                        "determinism analysis are impossible"
-                    ),
+                make_finding(
+                    "HAZ001",
+                    "op declares no effect table; hazard, resource and "
+                    "determinism analysis are impossible",
                     op=op.name,
                 )
             )
@@ -51,40 +49,33 @@ def hazard_findings(plan) -> list[Finding]:
         for b in eff.buffers:
             if b.mode == "read" and is_transient(b.buffer) and b.buffer not in defined:
                 findings.append(
-                    Finding(
-                        severity="error",
-                        rule="HAZ003",
-                        message=(
-                            f"reads transient '{b.buffer}' that no earlier "
-                            "kernel wrote — read-after-write hazard across a "
-                            "fusion boundary (or use-before-def)"
-                        ),
+                    make_finding(
+                        "HAZ003",
+                        f"reads transient '{b.buffer}' that no earlier "
+                        "kernel wrote — read-after-write hazard across a "
+                        "fusion boundary (or use-before-def)",
                         op=op.name,
+                        buffer=b.buffer,
                     )
                 )
             if b.mode == "write" and not b.exclusive and b.buffer not in atomics:
                 findings.append(
-                    Finding(
-                        severity="error",
-                        rule="HAZ002",
-                        message=(
-                            f"non-exclusive write to '{b.buffer}' without a "
-                            "declared atomic merge — write-write race on "
-                            "shared output rows"
-                        ),
+                    make_finding(
+                        "HAZ002",
+                        f"non-exclusive write to '{b.buffer}' without a "
+                        "declared atomic merge — write-write race on "
+                        "shared output rows",
                         op=op.name,
+                        buffer=b.buffer,
                     )
                 )
         if eff.reads_rng and plan.fingerprint is not None:
             findings.append(
-                Finding(
-                    severity="error",
-                    rule="HAZ004",
-                    message=(
-                        "op consumes host randomness inside a "
-                        "content-fingerprinted plan — a warm PlanCache hit "
-                        "would replay stale random state"
-                    ),
+                make_finding(
+                    "HAZ004",
+                    "op consumes host randomness inside a "
+                    "content-fingerprinted plan — a warm PlanCache hit "
+                    "would replay stale random state",
                     op=op.name,
                 )
             )

@@ -1,0 +1,158 @@
+"""Central finding-code registry: every lint rule in one table.
+
+Each rule id maps to its fixed severity, a one-line summary, and the
+README anchor documenting the family.  The analyses construct findings
+through :func:`make_finding` so a code's severity lives in exactly one
+place; the CLI ``--explain CODE`` helper and the README finding-code
+table render from the same entries.
+
+Like every lint module, this one never imports :mod:`repro.plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .report import Finding
+
+__all__ = ["RULES", "RuleInfo", "explain", "make_finding", "rule_info"]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """One registered finding code."""
+
+    code: str
+    severity: str  # "error" | "warning" | "info"
+    summary: str  # one line, shared by --explain and the README table
+    anchor: str  # README heading anchor documenting the family
+
+
+def _rules(*infos: RuleInfo) -> dict[str, RuleInfo]:
+    return {info.code: info for info in infos}
+
+
+RULES: dict[str, RuleInfo] = _rules(
+    # -- hazards (def-use races, cache safety) --------------------------
+    RuleInfo(
+        "HAZ001", "error",
+        "op declares no effect table — nothing about it can be checked",
+        "hazards-haz",
+    ),
+    RuleInfo(
+        "HAZ002", "error",
+        "non-exclusive write without a declared atomic merge (write-write race)",
+        "hazards-haz",
+    ),
+    RuleInfo(
+        "HAZ003", "error",
+        "read of a tmp:* transient no earlier op produced (RAW across fusion)",
+        "hazards-haz",
+    ),
+    RuleInfo(
+        "HAZ004", "error",
+        "rng-consuming op inside a content-fingerprinted plan (stale cache replay)",
+        "hazards-haz",
+    ),
+    # -- resources (launch envelope vs GPUSpec) -------------------------
+    RuleInfo(
+        "RES001", "error",
+        "block size exceeds the device's max threads per block",
+        "resources-res",
+    ),
+    RuleInfo(
+        "RES002", "error",
+        "registers per thread exceed the device limit",
+        "resources-res",
+    ),
+    RuleInfo(
+        "RES003", "error",
+        "shared memory per block exceeds the SM's capacity",
+        "resources-res",
+    ),
+    RuleInfo(
+        "RES004", "error",
+        "launch envelope admits zero resident blocks per SM",
+        "resources-res",
+    ),
+    RuleInfo(
+        "RES005", "warning",
+        "theoretical occupancy below 25% — latency hiding degrades",
+        "resources-res",
+    ),
+    # -- determinism ----------------------------------------------------
+    RuleInfo(
+        "DET001", "warning",
+        "atomic float merge — addition order follows hardware arrival order",
+        "determinism-det",
+    ),
+    RuleInfo(
+        "DET002", "warning",
+        "op consumes host randomness — reproducible only under a pinned generator",
+        "determinism-det",
+    ),
+    # -- access patterns (coalescing / divergence / bounds) -------------
+    RuleInfo(
+        "ACC001", "error",
+        "effects-declared buffer has no access pattern (or no table at all)",
+        "access-patterns-accdivoob",
+    ),
+    RuleInfo(
+        "ACC002", "warning",
+        "gather-random read: per-lane indirect rows defeat coalescing",
+        "access-patterns-accdivoob",
+    ),
+    RuleInfo(
+        "ACC003", "warning",
+        "strided access: lane stride splits each request across sectors",
+        "access-patterns-accdivoob",
+    ),
+    RuleInfo(
+        "ACC004", "warning",
+        "scattered write/atomic: indirect row targets collide across units",
+        "access-patterns-accdivoob",
+    ),
+    RuleInfo(
+        "DIV001", "warning",
+        "per-lane degree-dependent trip count — intra-warp divergence",
+        "access-patterns-accdivoob",
+    ),
+    RuleInfo(
+        "DIV002", "info",
+        "recurring tail masking: loop rounds leave lanes idle",
+        "access-patterns-accdivoob",
+    ),
+    RuleInfo(
+        "OOB001", "error",
+        "symbolic index range exceeds the declared buffer shape",
+        "access-patterns-accdivoob",
+    ),
+)
+
+
+def rule_info(code: str) -> RuleInfo:
+    """The registry entry for ``code`` (KeyError for unknown codes)."""
+    return RULES[code]
+
+
+def make_finding(
+    code: str, message: str, *, op: str | None = None, buffer: str | None = None
+) -> Finding:
+    """Build a finding whose severity comes from the registry."""
+    return Finding(
+        severity=RULES[code].severity,
+        rule=code,
+        message=message,
+        op=op,
+        buffer=buffer,
+    )
+
+
+def explain(code: str) -> str:
+    """Multi-line human rendering of one registry entry (CLI --explain)."""
+    info = RULES[code]
+    return (
+        f"{info.code} [{info.severity}]\n"
+        f"  {info.summary}\n"
+        f"  docs: README.md#{info.anchor}"
+    )

@@ -37,6 +37,7 @@ class Finding:
     rule: str  # e.g. "HAZ002"
     message: str
     op: str | None = None  # offending KernelOp name (None = whole plan)
+    buffer: str | None = None  # offending buffer name, where one exists
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -46,11 +47,16 @@ class Finding:
         where = f" @ {self.op}" if self.op else ""
         return f"[{self.severity}] {self.rule}{where}: {self.message}"
 
+    def key(self) -> tuple[str, str, str]:
+        """Identity triple used by baseline suppression and --json."""
+        return (self.rule, self.op or "", self.buffer or "")
+
 
 def sort_findings(findings) -> list[Finding]:
-    """Severity-ranked, then stable by rule id and op name."""
+    """Severity-ranked, then stable by rule id, op, and buffer name."""
     return sorted(
-        findings, key=lambda f: (severity_rank(f.severity), f.rule, f.op or "")
+        findings,
+        key=lambda f: (severity_rank(f.severity), f.rule, f.op or "", f.buffer or ""),
     )
 
 

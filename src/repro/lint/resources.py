@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from ..gpusim.config import GPUSpec
 from ..gpusim.occupancy import envelope_occupancy
+from .registry import make_finding
 from .report import Finding
 
 __all__ = ["resource_findings", "LOW_OCCUPANCY_THRESHOLD"]
@@ -38,37 +39,28 @@ def resource_findings(plan, spec: GPUSpec) -> list[Finding]:
         structural = []
         if env.threads_per_block > spec.max_threads_per_block:
             structural.append(
-                Finding(
-                    severity="error",
-                    rule="RES001",
-                    message=(
-                        f"block size {env.threads_per_block} exceeds device "
-                        f"limit {spec.max_threads_per_block}"
-                    ),
+                make_finding(
+                    "RES001",
+                    f"block size {env.threads_per_block} exceeds device "
+                    f"limit {spec.max_threads_per_block}",
                     op=op.name,
                 )
             )
         if env.regs_per_thread > spec.max_registers_per_thread:
             structural.append(
-                Finding(
-                    severity="error",
-                    rule="RES002",
-                    message=(
-                        f"{env.regs_per_thread} registers/thread exceeds "
-                        f"device limit {spec.max_registers_per_thread}"
-                    ),
+                make_finding(
+                    "RES002",
+                    f"{env.regs_per_thread} registers/thread exceeds "
+                    f"device limit {spec.max_registers_per_thread}",
                     op=op.name,
                 )
             )
         if env.shared_mem_per_block > spec.shared_mem_per_sm:
             structural.append(
-                Finding(
-                    severity="error",
-                    rule="RES003",
-                    message=(
-                        f"{env.shared_mem_per_block} B shared memory/block "
-                        f"exceeds the SM's {spec.shared_mem_per_sm} B"
-                    ),
+                make_finding(
+                    "RES003",
+                    f"{env.shared_mem_per_block} B shared memory/block "
+                    f"exceeds the SM's {spec.shared_mem_per_sm} B",
                     op=op.name,
                 )
             )
@@ -83,28 +75,22 @@ def resource_findings(plan, spec: GPUSpec) -> list[Finding]:
         )
         if occ.blocks_per_sm < 1:
             findings.append(
-                Finding(
-                    severity="error",
-                    rule="RES004",
-                    message=(
-                        "launch envelope admits zero resident blocks per SM "
-                        f"(limited by {occ.limited_by}) — the kernel cannot "
-                        "launch"
-                    ),
+                make_finding(
+                    "RES004",
+                    "launch envelope admits zero resident blocks per SM "
+                    f"(limited by {occ.limited_by}) — the kernel cannot "
+                    "launch",
                     op=op.name,
                 )
             )
         elif occ.theoretical < LOW_OCCUPANCY_THRESHOLD:
             findings.append(
-                Finding(
-                    severity="warning",
-                    rule="RES005",
-                    message=(
-                        f"theoretical occupancy {occ.theoretical:.0%} "
-                        f"(limited by {occ.limited_by}) is below "
-                        f"{LOW_OCCUPANCY_THRESHOLD:.0%} — latency hiding "
-                        "degrades"
-                    ),
+                make_finding(
+                    "RES005",
+                    f"theoretical occupancy {occ.theoretical:.0%} "
+                    f"(limited by {occ.limited_by}) is below "
+                    f"{LOW_OCCUPANCY_THRESHOLD:.0%} — latency hiding "
+                    "degrades",
                     op=op.name,
                 )
             )

@@ -19,6 +19,7 @@ import numpy as np
 from ..gpusim.config import GPUSpec
 from ..gpusim.kernel import KernelStats
 from ..gpusim.scheduler import ScheduleResult
+from ..lint.access import KernelAccess
 from ..lint.effects import KernelEffects
 from ..models.convspec import ConvWorkload
 from ..obs.tracer import span
@@ -57,12 +58,21 @@ class KernelOp:
     #: launch envelope); conv ops auto-populate from the kernel, modeled
     #: ops must declare explicitly — the lint analyses consume this
     effects: KernelEffects | None = None
+    #: declared symbolic access table (per-buffer lane/iter expressions;
+    #: see :mod:`repro.lint.access`); auto-populated like ``effects`` —
+    #: every effects-declared buffer must carry a pattern or ACC001 fires
+    access: KernelAccess | None = None
 
     def __post_init__(self) -> None:
-        if self.effects is None and self.kind == "conv" and self.workload is not None:
-            declare = getattr(self.kernel, "effects", None)
-            if callable(declare):
-                object.__setattr__(self, "effects", declare(self.workload))
+        if self.kind == "conv" and self.workload is not None:
+            if self.effects is None:
+                declare = getattr(self.kernel, "effects", None)
+                if callable(declare):
+                    object.__setattr__(self, "effects", declare(self.workload))
+            if self.access is None:
+                declare = getattr(self.kernel, "access_patterns", None)
+                if callable(declare):
+                    object.__setattr__(self, "access", declare(self.workload))
 
     def analyze(self, spec: GPUSpec) -> tuple[KernelStats, ScheduleResult]:
         """Produce this op's counters + schedule for ``spec``."""
@@ -167,6 +177,8 @@ class ExecutionPlan:
             lines.append(f"  [{i}] {op.name} ({', '.join(attrs)})")
             if op.effects is not None:
                 lines.append(f"        {op.effects.summary()}")
+            if op.access is not None:
+                lines.append(f"        access: {op.access.summary()}")
         if self.dispatch_seconds:
             lines.append(
                 f"  + framework dispatch "

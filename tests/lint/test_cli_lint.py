@@ -1,14 +1,18 @@
-"""CLI coverage: ``repro lint`` (incl. --strict exit codes) and ``repro
-plan --lint``."""
+"""CLI coverage: ``repro lint`` (incl. --strict exit codes, --json,
+--baseline, --write-baseline, --explain) and ``repro plan --lint``."""
 
 import io
+import json
 from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
 from repro import cli
 from repro.frameworks.tlpgnn_engine import TLPGNNEngine
 from repro.lint.effects import BufferEffect, KernelEffects, LaunchEnvelope
+
+REPO_BASELINE = Path(__file__).parent.parent.parent / "lint-baseline.json"
 
 ARGS = ["--max-edges", "60000"]
 
@@ -90,3 +94,88 @@ def test_plan_without_lint_flag_omits_report():
 def test_lint_rejects_unknown_system(argv):
     with pytest.raises(SystemExit):
         _run(argv)
+
+
+# ----------------------------------------------------------------------
+# --json
+# ----------------------------------------------------------------------
+def test_lint_json_emits_stable_array():
+    rc, text = _run(["lint", "--json", "--system", "DGL",
+                     "--model", "gat", "--dataset", "CR"])
+    assert rc == 0
+    rows = json.loads(text)  # the output is the array, nothing else
+    assert rows
+    assert all(
+        set(r) == {"plan", "code", "severity", "op", "buffer", "message"}
+        for r in rows
+    )
+    assert any(
+        r["code"] == "ACC004" and r["op"] == "spmm_coo_atomic" for r in rows
+    )
+
+
+def test_lint_json_clean_cell_is_empty_array():
+    rc, text = _run(["lint", "--json", "--system", "TLPGNN",
+                     "--model", "gcn", "--dataset", "CR"])
+    assert rc == 0
+    assert json.loads(text) == []
+
+
+# ----------------------------------------------------------------------
+# --baseline / --write-baseline
+# ----------------------------------------------------------------------
+def test_lint_baseline_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    rc, _ = _run(["lint", "--system", "DGL", "--model", "gat",
+                  "--dataset", "CR", "--write-baseline", str(path)])
+    assert rc == 0
+    data = json.loads(path.read_text())
+    assert data["version"] == 1 and data["findings"]
+    assert set(data["findings"][0]) == {"plan", "code", "op", "buffer"}
+    # a freshly written baseline suppresses every finding, even in strict
+    rc, text = _run(["lint", "--system", "DGL", "--model", "gat",
+                     "--dataset", "CR", "--strict", "--baseline", str(path)])
+    assert rc == 0
+    assert "suppressed by baseline" in text
+    assert "0 error(s), 0 warning(s)" in text
+
+
+def test_lint_strict_with_baseline_fails_on_unbaselined_findings(tmp_path):
+    path = tmp_path / "empty.json"
+    path.write_text('{"version": 1, "findings": []}\n')
+    # relative to the empty baseline every warning is *new*: strict fails
+    rc, text = _run(["lint", "--system", "DGL", "--model", "gat",
+                     "--dataset", "CR", "--strict", "--baseline", str(path)])
+    assert rc == 1
+    assert "ACC004" in text
+
+
+def test_lint_missing_baseline_file_is_a_usage_error(tmp_path):
+    rc, _ = _run(["lint", "--baseline", str(tmp_path / "nope.json"),
+                  "--system", "TLPGNN", "--model", "gcn", "--dataset", "CR"])
+    assert rc == 2
+
+
+def test_repo_baseline_covers_the_default_grid():
+    """The committed lint-baseline.json suppresses the whole grid (the CI
+    contract: strict + baseline over every cell yields an empty array)."""
+    rc, text = _run(["lint", "--strict", "--json",
+                     "--baseline", str(REPO_BASELINE)])
+    assert rc == 0
+    assert json.loads(text) == []
+
+
+# ----------------------------------------------------------------------
+# --explain
+# ----------------------------------------------------------------------
+def test_lint_explain_known_code():
+    rc, text = _run(["lint", "--explain", "acc002"])  # case-insensitive
+    assert rc == 0
+    assert text.startswith("ACC002 [warning]")
+    assert "README.md#access-patterns-accdivoob" in text
+
+
+def test_lint_explain_unknown_code():
+    rc, text = _run(["lint", "--explain", "XYZ999"])
+    assert rc == 2
+    assert "unknown finding code" in text

@@ -16,6 +16,7 @@ from repro.bench.harness import BenchConfig, get_dataset, make_features
 from repro.frameworks import SYSTEMS
 from repro.frameworks.base import CapacityError, UnsupportedModelError
 from repro.lint import lint_plan
+from repro.lint.access import access_findings, op_sector_class
 
 GOLDEN = Path(__file__).parent.parent / "data" / "golden_plan_refactor.json"
 
@@ -70,3 +71,29 @@ def test_every_golden_op_declares_effects():
             continue
         plan, spec = _lower(key)
         assert all(op.effects is not None for op in plan.ops), key
+
+
+def test_every_golden_op_declares_access():
+    """No ACC001 anywhere: every op carries an access table covering every
+    effects-named buffer (the acceptance bar for the access layer)."""
+    for key, want in _cells():
+        if want is None:
+            continue
+        plan, _spec = _lower(key)
+        assert all(op.access is not None for op in plan.ops), key
+        acc001 = [f for f in access_findings(plan) if f.rule == "ACC001"]
+        assert not acc001, (key, [(f.op, f.buffer) for f in acc001])
+
+
+def test_golden_access_tells_the_figure7_story():
+    """TLPGNN's conv launch is statically coalesced; DGL's GAT pipeline
+    carries the gather and scatter flags the paper charts."""
+    plan, _ = _lower("TLPGNN/gcn/CR")
+    conv = [op for op in plan.ops if op.kind == "conv"]
+    assert conv
+    for op in conv:
+        assert op_sector_class(op.access) in ("broadcast", "coalesced")
+    plan, _ = _lower("DGL/gat/CR")
+    flagged = {(f.rule, f.op) for f in access_findings(plan)}
+    assert ("ACC004", "spmm_coo_atomic") in flagged, flagged
+    assert any(rule == "ACC002" for rule, _op in flagged), flagged

@@ -11,12 +11,14 @@ from repro.frameworks.tlpgnn_engine import TLPGNNEngine
 from repro.graph.generators import power_law
 from repro.lint import (
     Finding,
+    KernelAccess,
     LintReport,
     PlanLintError,
     lint_plan,
     severity_rank,
     sort_findings,
 )
+from repro.lint.access import lane_stream
 from repro.lint.effects import (
     BufferEffect,
     KernelEffects,
@@ -38,8 +40,19 @@ def _plan(ops, fingerprint=None):
 
 
 def _op(name, effects):
+    # declare a matching coalesced access table so these tests stay focused
+    # on the hazard/resource/determinism rules (no incidental ACC001)
+    access = None
+    if effects is not None:
+        access = KernelAccess(
+            patterns=tuple(
+                lane_stream(b.buffer, role=b.mode, row="flat")
+                for b in effects.buffers
+            )
+        )
     return KernelOp(
-        name=name, kind="modeled", analyze_fn=lambda s: None, effects=effects
+        name=name, kind="modeled", analyze_fn=lambda s: None,
+        effects=effects, access=access,
     )
 
 

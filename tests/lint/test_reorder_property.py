@@ -3,8 +3,12 @@
 Every quantity the analyses consume — edge counts, degree-group counts,
 launch envelopes, buffer names — is permutation-invariant, so relabeling
 the graph must never change which (rule, severity, op) verdicts a system's
-plan receives.
+plan receives.  The same holds one layer down: a kernel's symbolic access
+table (and therefore its coalescing, divergence, and bounds verdicts)
+depends only on shapes and the CSR contract, never on vertex identity.
 """
+
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -14,7 +18,14 @@ from hypothesis import strategies as st
 from repro.frameworks import SYSTEMS
 from repro.gpusim.config import V100
 from repro.graph.generators import power_law
+from repro.kernels.edge_parallel_warp import EdgeParallelWarpKernel
+from repro.kernels.pull_thread import PullThreadKernel
+from repro.kernels.push import PushKernel
+from repro.kernels.tlpgnn import TLPGNNKernel
 from repro.lint import lint_plan
+from repro.lint.access import KernelAccess, access_findings
+from repro.models.convspec import ConvWorkload
+from repro.plan import plan_for_kernel
 
 N = 20
 GRAPH = power_law(N, 60, seed=11)
@@ -45,3 +56,58 @@ def test_lint_verdicts_survive_vertex_relabeling(system_name, model, perm):
     Xp = np.empty_like(X)
     Xp[perm] = X  # feature row of old vertex v moves to new id perm[v]
     assert _verdicts(system_name, model, GRAPH.permute(perm), Xp) == base
+
+
+# ----------------------------------------------------------------------
+# the access layer: coalescing / divergence / bounds verdicts
+# ----------------------------------------------------------------------
+class _OffByOneTLPGNN(TLPGNNKernel):
+    """TLPGNN whose declared feature sweep overruns each row by one — the
+    OOB001 probe, so the bounds axis of the property is non-vacuous."""
+
+    def access_patterns(self, workload):
+        acc = super().access_patterns(workload)
+        patterns = tuple(
+            replace(p, col=replace(p.col, const=p.col.const + 1))
+            if p.buffer == "feat" else p
+            for p in acc.patterns
+        )
+        return KernelAccess(
+            patterns=patterns,
+            shapes=acc.shapes,
+            unit_rows=acc.unit_rows,
+            value_ranges=acc.value_ranges,
+        )
+
+
+ACCESS_KERNELS = [
+    TLPGNNKernel(),
+    PullThreadKernel(),
+    PushKernel(),
+    EdgeParallelWarpKernel(),
+    _OffByOneTLPGNN(),
+]
+ACCESS_IDS = ["tlpgnn", "pull_thread", "push", "edge_parallel_warp", "oob_probe"]
+
+
+def _access_verdicts(kernel, graph, feats):
+    workload = ConvWorkload(graph=graph, X=feats, reduce="sum")
+    plan = plan_for_kernel(kernel, workload)
+    return {(f.rule, f.severity, f.buffer) for f in access_findings(plan)}
+
+
+def test_oob_probe_actually_flags_out_of_bounds():
+    assert ("OOB001", "error", "feat") in _access_verdicts(
+        _OffByOneTLPGNN(), GRAPH, X
+    )
+
+
+@pytest.mark.parametrize("kernel", ACCESS_KERNELS, ids=ACCESS_IDS)
+@settings(max_examples=15, deadline=None)
+@given(perm=st.permutations(range(N)))
+def test_access_verdicts_survive_vertex_relabeling(kernel, perm):
+    perm = np.asarray(perm, dtype=np.int64)
+    base = _access_verdicts(kernel, GRAPH, X)
+    Xp = np.empty_like(X)
+    Xp[perm] = X
+    assert _access_verdicts(kernel, GRAPH.permute(perm), Xp) == base
