@@ -10,16 +10,20 @@ servable twice, the second offline profile hits the
 :class:`repro.plan.PlanCache` and must cost measurably less wall time.
 """
 
+import os
 import time
 
 from repro.bench import BenchConfig
 from repro.bench.harness import get_dataset
+from repro.bench.regress import default_store_path, record_point
 from repro.bench.serving import serving_scenario
 from repro.frameworks import TLPGNNEngine
 from repro.plan import get_plan_cache
 from repro.serve import ServableModel
 
 from conftest import MAX_EDGES, SEED, run_and_report
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..")
 
 
 def test_serving_comparison(benchmark):
@@ -70,4 +74,20 @@ def test_plan_cache_warm_deploy_is_cheaper():
     print(
         f"\ncold deploy {t_cold * 1e3:.2f} ms, warm {t_warm * 1e3:.2f} ms "
         f"({t_cold / t_warm:.1f}x host win)"
+    )
+
+
+def test_record_serving_trajectory_point():
+    """Append this run's serving-probe metrics to the BENCH_serving.json
+    trend store (the perf-regression observatory's time series; ``repro
+    regress`` compares HEAD against the latest matching point)."""
+    cfg = BenchConfig(max_edges=MAX_EDGES, seed=SEED)
+    point = record_point(
+        "serving", cfg, store_path=default_store_path("serving", REPO_ROOT)
+    )
+    assert point["metrics"]["completed"] > 0
+    assert point["fingerprint"]
+    print(
+        f"\nrecorded serving trajectory point at rev {point['rev']} "
+        f"({len(point['metrics'])} metrics)"
     )

@@ -30,6 +30,9 @@ class _CacheCounts:
         cache = get_plan_cache()
         if cache is None or self._before is None:
             return "plan cache: disabled"
+        # publish the full counter set into any installed registry — the
+        # same set ``repro serve --metrics-out`` exposes
+        cache.publish()
         after = cache.snapshot()
         hits = after["hits"] - self._before["hits"]
         misses = after["misses"] - self._before["misses"]

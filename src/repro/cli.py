@@ -15,7 +15,22 @@ diff                compare two archived profile runs metric-by-metric;
                     exit 1 when a counter regressed beyond tolerance
 serve               simulated online inference serving (open-loop trace,
                     dynamic batching, admission control, CUDA-like
-                    streams); --compare runs the cross-system scenario
+                    streams); --compare runs the cross-system scenario;
+                    --trace exports per-request span trees as a Chrome
+                    trace, --tree prints the slowest requests' trees,
+                    --slo-ms enables SLO burn-rate monitoring
+top                 serve one workload with SLO monitoring and render the
+                    terminal health dashboard (error budgets, multi-window
+                    burn rates, shed/latency attribution, alert log)
+metrics             Prometheus-style text exposition of serving metrics:
+                    either re-expose a --metrics-out JSONL file
+                    (--from-jsonl) or run a small serving workload and
+                    expose its registry (histograms carry request-id
+                    exemplars)
+regress             perf-regression observatory: re-run the recorded
+                    probes at HEAD and compare against the BENCH_*.json
+                    trajectory (directional tolerances; exit 1 on
+                    regression); --record appends a new trajectory point
 plan                lower one (dataset, model) cell and print each
                     system's ExecutionPlan (kernel list, balance choice,
                     fusion structure, content fingerprint)
@@ -128,14 +143,74 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--queue-depth", type=int, default=64,
                     help="admission bound on in-system requests")
     sv.add_argument("--slo-ms", type=float, default=None,
-                    help="p99 SLO for --compare (default 2.5x DGL offline)")
+                    help="latency SLO in ms: enables burn-rate monitoring "
+                    "on a single run; for --compare, the p99 bar "
+                    "(default 2.5x DGL offline)")
+    sv.add_argument("--slo-objective", type=float, default=0.99,
+                    help="SLO good fraction (default 0.99 = 1%% budget)")
     sv.add_argument("--metrics-out", default=None, metavar="PATH",
                     help="append the run's obs metrics as JSONL")
+    sv.add_argument("--trace", default=None, metavar="PATH", dest="trace_out",
+                    help="collect per-request span trees and write them as "
+                    "a Chrome trace (one track per request + per stream)")
+    sv.add_argument("--tree", type=int, default=0, metavar="N",
+                    help="print the span trees of the N slowest requests")
     sv.add_argument("--compare", action="store_true",
                     help="run the TLPGNN vs DGL-sim vs GNNAdvisor serving "
                     "scenario under identical traces")
     sv.add_argument("--smoke", action="store_true",
                     help="small fast run + conservation self-check (CI)")
+
+    top = sub.add_parser(
+        "top", help="serve with SLO monitoring and render the health "
+        "dashboard"
+    )
+    top.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
+    top.add_argument("--model", choices=["gcn", "gin", "sage", "gat"],
+                     default="gcn")
+    top.add_argument("--dataset", default="CR")
+    top.add_argument("--arrival", choices=["poisson", "bursty"],
+                     default="poisson")
+    top.add_argument("--rate", type=float, default=None,
+                     help="offered req/s (default: --load x offline rate)")
+    top.add_argument("--load", type=float, default=0.8,
+                     help="offered load as a multiple of the system's "
+                     "offline service rate (default 0.8)")
+    top.add_argument("--requests", type=int, default=200)
+    top.add_argument("--max-batch", type=int, default=8)
+    top.add_argument("--streams", type=int, default=2)
+    top.add_argument("--queue-depth", type=int, default=64)
+    top.add_argument("--slo-ms", type=float, default=None,
+                     help="latency SLO in ms (default 2.5x offline runtime)")
+    top.add_argument("--slo-objective", type=float, default=0.99)
+
+    me = sub.add_parser(
+        "metrics", help="Prometheus-style text exposition of serving metrics"
+    )
+    me.add_argument("--expose", action="store_true", default=True,
+                    help="render the Prometheus text format (the default "
+                    "and only mode)")
+    me.add_argument("--from-jsonl", default=None, metavar="PATH",
+                    help="re-expose a --metrics-out JSONL file instead of "
+                    "running a workload (last record per metric wins)")
+    me.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
+    me.add_argument("--model", choices=["gcn", "gin", "sage", "gat"],
+                    default="gcn")
+    me.add_argument("--dataset", default="CR")
+    me.add_argument("--requests", type=int, default=64)
+
+    rg = sub.add_parser(
+        "regress", help="compare HEAD probes against the BENCH_*.json "
+        "perf trajectory (exit 1 on regression)"
+    )
+    rg.add_argument("--probe", choices=["serving", "table5", "all"],
+                    default="all")
+    rg.add_argument("--store-dir", default=".", metavar="DIR",
+                    help="directory holding the BENCH_<probe>.json trend "
+                    "stores (default: current directory)")
+    rg.add_argument("--record", action="store_true",
+                    help="append a trajectory point at HEAD instead of "
+                    "comparing")
 
     pl = sub.add_parser(
         "plan", help="lower a cell and print each system's execution plan"
@@ -387,11 +462,33 @@ def cmd_validate(args: argparse.Namespace, out) -> int:
     return 1 if failed else 0
 
 
-def cmd_serve(args: argparse.Namespace, out) -> int:
-    from .bench.serving import serving_scenario
+def _make_servable(args: argparse.Namespace, config, out):
+    """Build the (servable, spec) pair of a serving command, or None when
+    the system does not implement the model."""
     from .frameworks.base import UnsupportedModelError
+    from .serve import ServableModel
+
+    dataset = get_dataset(args.dataset, config)
+    spec = config.spec_for(dataset)
+    try:
+        servable = ServableModel(
+            SYSTEMS[args.system](), args.model, dataset,
+            feat_dim=config.feat_dim, spec=spec, seed=config.seed,
+        )
+    except UnsupportedModelError as exc:
+        print(f"cannot serve: {exc}", file=out)
+        return None
+    return servable, spec
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    import json
+
+    from .bench.serving import serving_scenario
     from .obs.metrics import MetricsRegistry, get_registry, set_registry
-    from .serve import ServableModel, ServeConfig, serve_trace
+    from .obs.reqtrace import RequestTraceCollector, set_request_collector
+    from .plan import get_plan_cache
+    from .serve import ServeConfig, serve_trace
 
     config = _config(args)
     # reuse an already-installed registry so repeated in-process serves
@@ -401,6 +498,11 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     if registry is None:
         registry = MetricsRegistry()
     previous = set_registry(registry)
+    collector = None
+    previous_collector = None
+    if args.trace_out or args.tree:
+        collector = RequestTraceCollector()
+        previous_collector = set_request_collector(collector)
     try:
         if args.compare:
             result = serving_scenario(
@@ -415,16 +517,10 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
                 num_requests = min(num_requests, 64)
                 max_batch = min(max_batch, 4)
                 streams = min(streams, 2)
-            dataset = get_dataset(args.dataset, config)
-            spec = config.spec_for(dataset)
-            try:
-                servable = ServableModel(
-                    SYSTEMS[args.system](), args.model, dataset,
-                    feat_dim=config.feat_dim, spec=spec, seed=config.seed,
-                )
-            except UnsupportedModelError as exc:
-                print(f"cannot serve: {exc}", file=out)
+            made = _make_servable(args, config, out)
+            if made is None:
                 return 1
+            servable, spec = made
             rate = args.rate or 0.5 / servable.offline_runtime_s
             cfg = ServeConfig(
                 arrival=args.arrival, rate_hz=rate, num_requests=num_requests,
@@ -432,6 +528,7 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
                 max_batch=max_batch, window_s=args.window_us * 1e-6,
                 num_streams=streams, queue_depth=args.queue_depth,
                 max_concurrent=spec.max_concurrent_kernels, seed=config.seed,
+                slo_ms=args.slo_ms, slo_objective=args.slo_objective,
             )
             report = serve_trace(servable, cfg)
             report.publish(registry, system=args.system, dataset=args.dataset)
@@ -445,12 +542,132 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
                 )
                 print(f"serve smoke: {'OK' if ok else 'FAILED'}", file=out)
                 rc = 0 if ok else 1
+        if collector is not None:
+            if args.tree:
+                for trace in collector.slowest(args.tree):
+                    print(trace.render_tree(), file=out)
+            if args.trace_out:
+                events = collector.to_chrome_trace()
+                with open(args.trace_out, "w") as fh:
+                    json.dump({"traceEvents": events}, fh)
+                print(
+                    f"wrote {args.trace_out}: {len(events)} events, "
+                    f"{len(collector.completed)} request track(s), "
+                    f"{len(collector.shed)} shed",
+                    file=out,
+                )
         if args.metrics_out:
+            cache = get_plan_cache()
+            if cache is not None:
+                cache.publish(registry)
             n = registry.dump_jsonl(args.metrics_out)
             print(f"wrote {n} metrics to {args.metrics_out}", file=out)
         return rc
     finally:
+        if collector is not None:
+            set_request_collector(previous_collector)
         set_registry(previous)
+
+
+def cmd_top(args: argparse.Namespace, out) -> int:
+    """Serve one workload with SLO monitoring; render the dashboard."""
+    from .obs.dashboard import render_top
+    from .serve import ServeConfig, serve_trace
+
+    config = _config(args)
+    made = _make_servable(args, config, out)
+    if made is None:
+        return 1
+    servable, spec = made
+    offline_s = servable.offline_runtime_s
+    slo_ms = args.slo_ms if args.slo_ms is not None else 2.5 * offline_s * 1e3
+    rate = args.rate or args.load / offline_s
+    cfg = ServeConfig(
+        arrival=args.arrival, rate_hz=rate, num_requests=args.requests,
+        max_batch=args.max_batch, num_streams=args.streams,
+        queue_depth=args.queue_depth,
+        max_concurrent=spec.max_concurrent_kernels, seed=config.seed,
+        slo_ms=slo_ms, slo_objective=args.slo_objective,
+    )
+    report = serve_trace(servable, cfg)
+    print(render_top(report.slo, report=report), file=out)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace, out) -> int:
+    """Prometheus text exposition: from a JSONL dump or a fresh run."""
+    from .obs.expose import records_from_jsonl, render_prometheus
+    from .obs.metrics import MetricsRegistry, set_registry
+    from .plan import get_plan_cache
+    from .serve import ServeConfig, serve_trace
+
+    if args.from_jsonl:
+        try:
+            records = records_from_jsonl(args.from_jsonl)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read {args.from_jsonl}: {exc}", file=out)
+            return 2
+        print(render_prometheus(records), end="", file=out)
+        return 0
+    config = _config(args)
+    made = _make_servable(args, config, out)
+    if made is None:
+        return 1
+    servable, spec = made
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        cfg = ServeConfig(
+            rate_hz=0.5 / servable.offline_runtime_s,
+            num_requests=args.requests, max_batch=4, num_streams=2,
+            max_concurrent=spec.max_concurrent_kernels, seed=config.seed,
+            slo_ms=2.5 * servable.offline_runtime_s * 1e3,
+        )
+        report = serve_trace(servable, cfg)
+        report.publish(registry, system=args.system, dataset=args.dataset)
+        cache = get_plan_cache()
+        if cache is not None:
+            cache.publish(registry)
+    finally:
+        set_registry(previous)
+    print(render_prometheus(registry), end="", file=out)
+    return 0
+
+
+def cmd_regress(args: argparse.Namespace, out) -> int:
+    """Compare HEAD probe metrics against the recorded perf trajectory."""
+    from .bench.regress import PROBES, compare_point, default_store_path, record_point
+
+    config = _config(args)
+    names = sorted(PROBES) if args.probe == "all" else [args.probe]
+    rc = 0
+    for name in names:
+        store_path = default_store_path(name, args.store_dir)
+        if args.record:
+            point = record_point(name, config, store_path=store_path)
+            print(
+                f"recorded {name} point at rev {point['rev']} "
+                f"({len(point['metrics'])} metrics) -> {store_path}",
+                file=out,
+            )
+            continue
+        try:
+            diff = compare_point(name, config, store_path=store_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {name}: {exc}", file=out)
+            return 2
+        if diff is None:
+            print(
+                f"{name}: no trajectory point matches this config "
+                f"fingerprint in {store_path} — record one with "
+                "'repro regress --record'",
+                file=out,
+            )
+            continue
+        print(diff.render(), file=out)
+        if not diff.ok:
+            rc = 1
+    return rc
 
 
 def cmd_plan(args: argparse.Namespace, out) -> int:
@@ -626,6 +843,9 @@ _COMMANDS = {
     "trace": cmd_trace,
     "diff": cmd_diff,
     "serve": cmd_serve,
+    "top": cmd_top,
+    "metrics": cmd_metrics,
+    "regress": cmd_regress,
     "plan": cmd_plan,
     "lint": cmd_lint,
 }

@@ -29,6 +29,7 @@ from ..gpusim.profiler import ProfileReport
 from ..graph.csr import CSRGraph
 from ..graph.datasets import Dataset
 from ..lint import PlanLintError, lint_plan
+from ..obs.reqtrace import current_batch_context
 from ..obs.tracer import get_tracer, span
 from ..plan import (
     ExecutionPlan,
@@ -199,7 +200,16 @@ class GNNSystem(ABC):
                 )
 
         rng = rng or np.random.default_rng(0)
-        with span(f"{self.name}.pipeline", model=model, graph=graph.name) as sp:
+        # request-level attribution: when run on behalf of a served batch
+        # (the planner calls into run() during dispatch), tag the pipeline
+        # span with the batch / request ids it serves
+        bctx = current_batch_context()
+        req_tags = (
+            {"batch": bctx.bid, "rids": list(bctx.rids)} if bctx else {}
+        )
+        with span(
+            f"{self.name}.pipeline", model=model, graph=graph.name, **req_tags
+        ) as sp:
             plan = self._lower(model, graph, X, spec, dataset=dataset, rng=rng)
             plan.fingerprint = key
             if lint is not None:

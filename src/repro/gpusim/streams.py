@@ -60,6 +60,9 @@ class StreamKernel:
     launch_seconds: float = 0.0
     #: opaque payload threaded through to the completion (e.g. a batch id)
     tag: object = None
+    #: request-level tracing context (a :class:`repro.obs.reqtrace.
+    #: BatchContext` on the serving path); None outside request tracing
+    ctx: object = None
 
     def __post_init__(self) -> None:
         if self.comp_seconds < 0 or self.mem_seconds < 0 or self.launch_seconds < 0:
@@ -72,6 +75,9 @@ class StreamKernel:
 
     def with_tag(self, tag: object) -> "StreamKernel":
         return replace(self, tag=tag)
+
+    def with_ctx(self, ctx: object) -> "StreamKernel":
+        return replace(self, ctx=ctx)
 
 
 @dataclass(frozen=True)
@@ -360,9 +366,18 @@ class MultiStreamSimulator:
             self._completions.append(completion)
             self._busy_horizon = max(self._busy_horizon, self.now)
             if sink is not None:
-                sink.emit(
-                    "stream_kernel", name=r.kernel.name, stream=r.stream,
+                fields = dict(
+                    name=r.kernel.name, stream=r.stream,
                     enqueue_s=r.enqueue_s, start_s=r.start_s,
                     finish_s=self.now, stretch=completion.stretch,
                 )
+                ctx = r.kernel.ctx
+                if ctx is not None:
+                    # request-level attribution: which batch / requests
+                    # this kernel served (see repro.obs.reqtrace)
+                    fields["batch"] = getattr(ctx, "bid", None)
+                    rids = getattr(ctx, "rids", None)
+                    if rids is not None:
+                        fields["rids"] = list(rids)
+                sink.emit("stream_kernel", **fields)
         return True

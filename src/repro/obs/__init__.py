@@ -38,15 +38,31 @@ from .archive import (
     diff_runs,
     load_run,
 )
+from .dashboard import render_top
 from .events import EventSink, get_event_sink, set_event_sink
+from .expose import render_prometheus
 from .metrics import (
     Counter,
     Gauge,
+    Histogram,
     MetricsRegistry,
+    default_latency_edges_ms,
     get_registry,
     set_registry,
 )
+from .reqtrace import (
+    BatchContext,
+    KernelSpan,
+    RequestContext,
+    RequestTrace,
+    RequestTraceCollector,
+    current_batch_context,
+    get_request_collector,
+    set_request_collector,
+)
+from .slo import SLO, BurnRateAlert, BurnRateRule, SLOMonitor, default_rules
 from .tracer import Span, Tracer, current_span, get_tracer, set_tracer, span
+from .trend import MetricPolicy, TrendDiff, TrendStore, git_rev
 
 __all__ = [
     "Span",
@@ -60,9 +76,30 @@ __all__ = [
     "set_event_sink",
     "Counter",
     "Gauge",
+    "Histogram",
+    "default_latency_edges_ms",
     "MetricsRegistry",
     "get_registry",
     "set_registry",
+    "RequestContext",
+    "BatchContext",
+    "KernelSpan",
+    "RequestTrace",
+    "RequestTraceCollector",
+    "get_request_collector",
+    "set_request_collector",
+    "current_batch_context",
+    "SLO",
+    "BurnRateRule",
+    "BurnRateAlert",
+    "SLOMonitor",
+    "default_rules",
+    "TrendStore",
+    "TrendDiff",
+    "MetricPolicy",
+    "git_rev",
+    "render_top",
+    "render_prometheus",
     "ProfileArchive",
     "config_fingerprint",
     "diff_runs",

@@ -1,0 +1,92 @@
+"""Terminal SLO dashboard: ``repro top``.
+
+Renders an :class:`~repro.obs.slo.SLOMonitor` summary (plus, optionally,
+a :class:`~repro.serve.service.ServeReport`) as a fixed-width text panel:
+per-class error-budget gauges, burn rates for every rule with their
+firing state, shed-vs-latency attribution with exemplar request ids, and
+the alert log.  Pure string formatting over the already-JSON-ready
+``summary()`` dict — no curses, no terminal control codes — so the same
+renderer serves the CLI, tests, and CI logs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_top", "render_bar"]
+
+_WIDTH = 72
+
+
+def render_bar(fraction: float, *, width: int = 24) -> str:
+    """A ``[####----]`` gauge; clamps to [0, 1] and flags overflow."""
+    clamped = min(max(fraction, 0.0), 1.0)
+    filled = round(clamped * width)
+    bar = "#" * filled + "-" * (width - filled)
+    mark = "!" if fraction > 1.0 else " "
+    return f"[{bar}]{mark}"
+
+
+def _class_panel(klass: str, stats: dict) -> list[str]:
+    lines = [
+        f"class {klass}  (SLO: p(good) >= {stats['objective']:.2%} "
+        f"under {stats['slo_latency_ms']:.4f} ms)",
+        f"  events {stats['events']:>6}   good {stats['good']:>6}   "
+        f"bad {stats['bad_latency'] + stats['bad_shed']:>6} "
+        f"(latency {stats['bad_latency']}, shed {stats['bad_shed']})",
+        f"  budget {render_bar(stats['budget_used'])} "
+        f"{stats['budget_used']:7.2%} used",
+    ]
+    for rule, burn in stats.get("burn_rates", {}).items():
+        state = "FIRING" if burn.get("active") else "ok"
+        lines.append(
+            f"  burn[{rule:<5}] long {burn['long']:7.2f}x  "
+            f"short {burn['short']:7.2f}x  "
+            f"(page at {burn['factor']:.0f}x)  {state}"
+        )
+    attr = stats.get("attribution")
+    if attr and (attr["shed"] or attr["latency"]):
+        bits = []
+        if attr["latency"]:
+            rids = ",".join(str(r) for r in attr["latency_rids"])
+            bits.append(f"latency x{attr['latency']} (rids {rids})")
+        if attr["shed"]:
+            rids = ",".join(str(r) for r in attr["shed_rids"])
+            bits.append(f"shed x{attr['shed']} (rids {rids})")
+        lines.append("  burned by: " + "; ".join(bits))
+    return lines
+
+
+def render_top(summary: dict, *, report=None) -> str:
+    """Render one monitor ``summary()`` (and optional serve report) as a
+    text dashboard."""
+    rule = "=" * _WIDTH
+    lines = [
+        rule,
+        f"repro top — SLO health at t={summary['now_s'] * 1e3:.3f} ms "
+        "(simulated)",
+        rule,
+    ]
+    for klass, stats in summary["classes"].items():
+        lines.extend(_class_panel(klass, stats))
+        lines.append("-" * _WIDTH)
+    alerts = summary.get("alerts", [])
+    if alerts:
+        lines.append(f"alerts ({len(alerts)}):")
+        for a in alerts:
+            lines.append(
+                f"  [{a['klass']}] {a['rule']} fired at "
+                f"t={a['fired_at_s'] * 1e3:.3f} ms "
+                f"(long {a['burn_long']:.1f}x / short {a['burn_short']:.1f}x "
+                f">= {a['factor']:.0f}x)"
+            )
+    else:
+        lines.append("alerts: none — error budget burning sustainably")
+    if report is not None:
+        lines.append("-" * _WIDTH)
+        lines.append(
+            f"serving: completed {report.completed}/{report.arrived} "
+            f"(shed {report.shed})  p50 {report.p50_ms:.4f} ms  "
+            f"p99 {report.p99_ms:.4f} ms  "
+            f"{report.throughput_rps:,.0f} req/s"
+        )
+    lines.append(rule)
+    return "\n".join(lines)

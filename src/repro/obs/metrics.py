@@ -23,9 +23,18 @@ from __future__ import annotations
 
 import json
 import time
+from bisect import bisect_left
 from pathlib import Path
 
-__all__ = ["Counter", "Gauge", "MetricsRegistry", "get_registry", "set_registry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "default_latency_edges_ms",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
 
 
 class Counter:
@@ -56,6 +65,103 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self.value = float(value)
+
+
+def default_latency_edges_ms(*, lo_ms: float = 1e-3, hi_ms: float = 1e4) -> list[float]:
+    """Log2-spaced bucket edges covering microseconds through seconds."""
+    edges = []
+    edge = lo_ms
+    while edge < hi_ms:
+        edges.append(edge)
+        edge *= 2.0
+    return edges
+
+
+class Histogram:
+    """Cumulative-bucket histogram with per-bucket exemplars.
+
+    Prometheus semantics: ``edges`` are upper bounds of ``len(edges)``
+    finite buckets plus an implicit ``+Inf`` overflow bucket.  Each
+    bucket remembers one **exemplar** — the (id, value) pair of the
+    largest observation that landed in it — which is how the p99 tail of
+    a latency histogram stays attributable to concrete request ids
+    (OpenMetrics exemplars; see :mod:`repro.obs.expose`).
+    """
+
+    __slots__ = ("name", "labels", "edges", "counts", "sum", "count", "exemplars")
+
+    def __init__(self, name: str, labels: dict, *, edges=None):
+        self.name = name
+        self.labels = labels
+        self.edges = sorted(edges) if edges else default_latency_edges_ms()
+        self.counts = [0] * (len(self.edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+        #: per bucket: (exemplar_id, value) of the largest observation
+        self.exemplars: list[tuple | None] = [None] * (len(self.edges) + 1)
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float, *, exemplar=None) -> None:
+        value = float(value)
+        i = bisect_left(self.edges, value)
+        self.counts[i] += 1
+        self.sum += value
+        self.count += 1
+        if exemplar is not None:
+            current = self.exemplars[i]
+            if current is None or value >= current[1]:
+                self.exemplars[i] = (exemplar, value)
+
+    @property
+    def value(self) -> float:
+        """Registry-uniform scalar view: the total observation count."""
+        return float(self.count)
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket edge holding the q-quantile (Prometheus-style)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.edges[i] if i < len(self.edges) else float("inf")
+        return float("inf")
+
+    def tail_exemplars(self, q: float) -> list[tuple]:
+        """Exemplars of every non-empty bucket at or above the q-quantile
+        bucket — the request ids behind the p99 tail."""
+        if self.count == 0:
+            return []
+        bound = self.quantile(q)
+        out = []
+        for i, ex in enumerate(self.exemplars):
+            if ex is None:
+                continue
+            edge = self.edges[i] if i < len(self.edges) else float("inf")
+            if edge >= bound:
+                out.append(ex)
+        return out
+
+    def bucket_records(self) -> list[dict]:
+        """Per-bucket records (le / count / exemplar), JSON-ready."""
+        records = []
+        for i, c in enumerate(self.counts):
+            le = self.edges[i] if i < len(self.edges) else float("inf")
+            ex = self.exemplars[i]
+            records.append(
+                {
+                    "le": le if le != float("inf") else "+Inf",
+                    "count": c,
+                    "exemplar": (
+                        {"id": ex[0], "value": ex[1]} if ex else None
+                    ),
+                }
+            )
+        return records
 
 
 #: ProfileReport.as_dict() keys that accumulate across runs; the rest are
@@ -98,6 +204,15 @@ class MetricsRegistry:
             raise TypeError(f"{name}{labels} is already a Counter")
         return metric
 
+    def histogram(self, name: str, *, edges=None, **labels) -> Histogram:
+        key = self._key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Histogram(name, labels, edges=edges)
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"{name}{labels} is already a {type(metric).__name__}")
+        return metric
+
     def __len__(self) -> int:
         return len(self._metrics)
 
@@ -138,6 +253,18 @@ class MetricsRegistry:
         """All metrics as flat records (sorted for stable output)."""
         records = []
         for (name, label_items), metric in sorted(self._metrics.items()):
+            if isinstance(metric, Histogram):
+                records.append(
+                    {
+                        "name": name,
+                        "type": "histogram",
+                        "labels": dict(label_items),
+                        "value": metric.value,
+                        "sum": metric.sum,
+                        "buckets": metric.bucket_records(),
+                    }
+                )
+                continue
             records.append(
                 {
                     "name": name,

@@ -1,0 +1,293 @@
+"""SLO accounting: error budgets, multi-window burn rates, alerting.
+
+The serving tier admits per-class traffic against latency objectives; this
+module turns its completion/shed stream into the SRE-style health signals
+a fleet operator pages on:
+
+* an :class:`SLO` declares, per job class, the latency target and the
+  success objective (e.g. 99% of requests under 2.5 ms — an **error
+  budget** of 1%);
+* every completion is a *good* or *bad* event (bad = latency above
+  target), every shed arrival is *bad* by definition;
+* the **burn rate** over a window is the bad fraction in that window
+  divided by the error budget — burn 1.0 spends the budget exactly at
+  the sustainable pace, burn 10 exhausts it ten times too fast;
+* a :class:`BurnRateRule` fires only when **both** a long and a short
+  window exceed its factor (the classic multi-window guard: the long
+  window proves the problem is real, the short window proves it is
+  *still happening*, so a recovered burst cannot keep paging).
+
+Everything runs on the simulated clock — windows are simulated seconds,
+alert fire times are exact event timestamps, and identical seeds
+reproduce identical alert sequences (the overload acceptance test pins
+this).  The monitor also keeps *attribution*: how much of the burned
+budget came from shedding vs latency violations, with exemplar request
+ids for each.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SLO",
+    "BurnRateRule",
+    "BurnRateAlert",
+    "SLOMonitor",
+    "default_rules",
+]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One job class's service-level objective."""
+
+    klass: str
+    #: per-request end-to-end latency target (simulated ms)
+    latency_ms: float
+    #: target good fraction (0.99 = 1% error budget)
+    objective: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.latency_ms <= 0:
+            raise ValueError("latency_ms must be positive")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: allowed bad fraction."""
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire when burn rate exceeds ``factor`` over BOTH windows."""
+
+    name: str
+    long_s: float
+    short_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.short_s <= 0 or self.long_s < self.short_s:
+            raise ValueError("windows must satisfy 0 < short <= long")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+
+def default_rules(duration_s: float) -> tuple[BurnRateRule, ...]:
+    """Multi-window rules scaled to a trace of ``duration_s`` simulated
+    seconds (the serving analogue of the 1h/5m + 6h/30m page/ticket
+    pair: windows shrink with the trace, ratios stay)."""
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    return (
+        BurnRateRule(
+            name="fast", long_s=duration_s / 4, short_s=duration_s / 24,
+            factor=10.0,
+        ),
+        BurnRateRule(
+            name="slow", long_s=duration_s / 2, short_s=duration_s / 8,
+            factor=4.0,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class BurnRateAlert:
+    """One rule firing for one class at one simulated instant."""
+
+    klass: str
+    rule: str
+    fired_at_s: float
+    burn_long: float
+    burn_short: float
+    factor: float
+
+    def describe(self) -> str:
+        return (
+            f"[{self.klass}] {self.rule} burn-rate alert at "
+            f"t={self.fired_at_s * 1e3:.3f} ms: long {self.burn_long:.1f}x / "
+            f"short {self.burn_short:.1f}x >= {self.factor:.1f}x budget"
+        )
+
+
+@dataclass
+class _ClassState:
+    """Per-class event log (parallel arrays, time-sorted by construction)."""
+
+    slo: SLO
+    times: list[float] = field(default_factory=list)
+    bads: list[bool] = field(default_factory=list)
+    #: "latency" | "shed" per bad event index position (same len as times;
+    #: None for good events)
+    kinds: list[str | None] = field(default_factory=list)
+    rids: list[int] = field(default_factory=list)
+    good: int = 0
+    bad_latency: int = 0
+    bad_shed: int = 0
+    #: rule name -> currently above threshold (edge-triggered alerts)
+    active: dict[str, bool] = field(default_factory=dict)
+
+
+class SLOMonitor:
+    """Consumes per-request outcomes, maintains burn rates and alerts.
+
+    Feed it :meth:`observe_completion` / :meth:`observe_shed` in event
+    order (the serving loop's completion order is time-sorted); alerts
+    are evaluated at every observation, so ``fired_at_s`` is the exact
+    simulated instant the rule's condition first became true.  Alerts are
+    edge-triggered: a rule re-fires only after its condition has cleared.
+    """
+
+    def __init__(self, slos, rules: tuple[BurnRateRule, ...]):
+        self.rules = tuple(rules)
+        self._classes: dict[str, _ClassState] = {
+            slo.klass: _ClassState(slo=slo) for slo in slos
+        }
+        if not self._classes:
+            raise ValueError("need at least one SLO")
+        self.alerts: list[BurnRateAlert] = []
+
+    # ------------------------------------------------------------------
+    def _state(self, klass: str) -> _ClassState | None:
+        return self._classes.get(klass)
+
+    def observe_completion(
+        self, klass: str, *, at_s: float, latency_ms: float, rid: int = -1
+    ) -> bool:
+        """Record one completion; returns True when it met its SLO."""
+        st = self._state(klass)
+        if st is None:
+            return True
+        good = latency_ms <= st.slo.latency_ms
+        st.times.append(at_s)
+        st.bads.append(not good)
+        st.kinds.append(None if good else "latency")
+        st.rids.append(rid)
+        if good:
+            st.good += 1
+        else:
+            st.bad_latency += 1
+        self._check(st, at_s)
+        return good
+
+    def observe_shed(self, klass: str, *, at_s: float, rid: int = -1) -> None:
+        """Record one shed arrival (always an SLO violation)."""
+        st = self._state(klass)
+        if st is None:
+            return
+        st.times.append(at_s)
+        st.bads.append(True)
+        st.kinds.append("shed")
+        st.rids.append(rid)
+        st.bad_shed += 1
+        self._check(st, at_s)
+
+    # ------------------------------------------------------------------
+    def _window(self, st: _ClassState, window_s: float, now_s: float):
+        lo = bisect_left(st.times, now_s - window_s)
+        hi = bisect_right(st.times, now_s)
+        return lo, hi
+
+    def burn_rate(self, klass: str, window_s: float, now_s: float) -> float:
+        """Bad fraction over the trailing window, divided by the budget.
+
+        0.0 when the window holds no events (no traffic burns no budget).
+        """
+        st = self._classes[klass]
+        lo, hi = self._window(st, window_s, now_s)
+        total = hi - lo
+        if total == 0:
+            return 0.0
+        bad = sum(st.bads[lo:hi])
+        return (bad / total) / st.slo.budget
+
+    def attribution(
+        self, klass: str, window_s: float, now_s: float, *, exemplars: int = 3
+    ) -> dict:
+        """What burned the budget in the window: shed vs latency counts,
+        with up to ``exemplars`` request ids of each."""
+        st = self._classes[klass]
+        lo, hi = self._window(st, window_s, now_s)
+        out = {
+            "shed": 0, "latency": 0,
+            "shed_rids": [], "latency_rids": [],
+        }
+        for i in range(lo, hi):
+            kind = st.kinds[i]
+            if kind is None:
+                continue
+            out[kind] += 1
+            key = f"{kind}_rids"
+            if len(out[key]) < exemplars:
+                out[key].append(st.rids[i])
+        return out
+
+    # ------------------------------------------------------------------
+    def _check(self, st: _ClassState, now_s: float) -> None:
+        for rule in self.rules:
+            burn_long = self.burn_rate(st.slo.klass, rule.long_s, now_s)
+            burn_short = self.burn_rate(st.slo.klass, rule.short_s, now_s)
+            above = burn_long >= rule.factor and burn_short >= rule.factor
+            was_above = st.active.get(rule.name, False)
+            if above and not was_above:
+                self.alerts.append(
+                    BurnRateAlert(
+                        klass=st.slo.klass, rule=rule.name,
+                        fired_at_s=now_s, burn_long=burn_long,
+                        burn_short=burn_short, factor=rule.factor,
+                    )
+                )
+            st.active[rule.name] = above
+
+    @property
+    def fired(self) -> bool:
+        return bool(self.alerts)
+
+    # ------------------------------------------------------------------
+    def summary(self, now_s: float) -> dict:
+        """JSON-ready per-class health snapshot at simulated ``now_s``."""
+        classes = {}
+        for klass, st in sorted(self._classes.items()):
+            total = st.good + st.bad_latency + st.bad_shed
+            bad = st.bad_latency + st.bad_shed
+            bad_fraction = bad / total if total else 0.0
+            longest = max((r.long_s for r in self.rules), default=now_s)
+            classes[klass] = {
+                "slo_latency_ms": st.slo.latency_ms,
+                "objective": st.slo.objective,
+                "events": total,
+                "good": st.good,
+                "bad_latency": st.bad_latency,
+                "bad_shed": st.bad_shed,
+                "bad_fraction": bad_fraction,
+                #: whole-run budget consumption (1.0 = budget exhausted)
+                "budget_used": (
+                    bad_fraction / st.slo.budget if total else 0.0
+                ),
+                "burn_rates": {
+                    rule.name: {
+                        "long": self.burn_rate(klass, rule.long_s, now_s),
+                        "short": self.burn_rate(klass, rule.short_s, now_s),
+                        "factor": rule.factor,
+                        "active": st.active.get(rule.name, False),
+                    }
+                    for rule in self.rules
+                },
+                "attribution": self.attribution(klass, longest, now_s),
+            }
+        return {
+            "now_s": now_s,
+            "classes": classes,
+            "alerts": [
+                {
+                    "klass": a.klass, "rule": a.rule,
+                    "fired_at_s": a.fired_at_s, "burn_long": a.burn_long,
+                    "burn_short": a.burn_short, "factor": a.factor,
+                }
+                for a in self.alerts
+            ],
+        }

@@ -1,0 +1,302 @@
+"""Perf-regression observatory: a per-metric trend store keyed by git rev.
+
+:class:`~repro.obs.archive.ProfileArchive` answers "did *this* run drift
+from *that* run"; the :class:`TrendStore` answers the longitudinal
+question — "how has this workload's performance moved across PRs".  One
+JSON file (committed to the repo as ``BENCH_serving.json`` /
+``BENCH_table5.json``) holds an append-only list of **trajectory
+points**, each stamped with the git revision, a config fingerprint, and
+a flat metric dict.  ``repro regress`` recomputes the same probes at
+HEAD and compares against the latest fingerprint-matching point with
+**directional** tolerances: a latency that *drops* 30% is an
+improvement, not a regression; the same move in throughput fails the
+gate.
+
+Points with different fingerprints (a different ``max_edges`` cap, seed,
+or device spec) never compare — CI records at its own scale and stays
+blind to developers' full-scale local points in the same file.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .archive import Tolerance
+
+__all__ = [
+    "TREND_SCHEMA_VERSION",
+    "MetricPolicy",
+    "TrendDelta",
+    "TrendDiff",
+    "TrendStore",
+    "DEFAULT_POLICIES",
+    "git_rev",
+]
+
+#: bump when the trend-store layout changes incompatibly
+TREND_SCHEMA_VERSION = 1
+
+
+def git_rev(root: str | Path | None = None) -> str:
+    """Short git revision of ``root`` (cwd by default); "unknown" when
+    not a repository (trend points must never fail to record)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(root) if root else None,
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """Tolerance plus the drift direction that counts as a regression."""
+
+    tolerance: Tolerance = Tolerance(rel=0.05)
+    #: "lower" = lower is better (latency: increases regress);
+    #: "higher" = higher is better (throughput: decreases regress);
+    #: "both"   = any out-of-band drift regresses (counters)
+    better: str = "both"
+
+    def classify(self, baseline: float, candidate: float) -> str:
+        """"ok" | "regressed" | "improved" for one metric move."""
+        if self.tolerance.allows(baseline, candidate):
+            return "ok"
+        if self.better == "both":
+            return "regressed"
+        worse = (
+            candidate > baseline if self.better == "lower"
+            else candidate < baseline
+        )
+        return "regressed" if worse else "improved"
+
+
+#: metric-name policies shared by the serving and table5 probes; matched
+#: by exact name first, then by the longest suffix after "_"
+DEFAULT_POLICIES: dict[str, MetricPolicy] = {
+    # modeled latencies: deterministic floats, lower is better
+    "p50_ms": MetricPolicy(Tolerance(rel=0.05), better="lower"),
+    "p95_ms": MetricPolicy(Tolerance(rel=0.05), better="lower"),
+    "p99_ms": MetricPolicy(Tolerance(rel=0.05), better="lower"),
+    "mean_ms": MetricPolicy(Tolerance(rel=0.05), better="lower"),
+    "runtime_ms": MetricPolicy(Tolerance(rel=0.05), better="lower"),
+    "makespan_ms": MetricPolicy(Tolerance(rel=0.05), better="lower"),
+    # rates: higher is better
+    "throughput_rps": MetricPolicy(Tolerance(rel=0.05), better="higher"),
+    "sustained_rps": MetricPolicy(Tolerance(rel=0.05), better="higher"),
+    "speedup": MetricPolicy(Tolerance(rel=0.05), better="higher"),
+    # conservation counters: exact
+    "completed": MetricPolicy(Tolerance(), better="both"),
+    "shed": MetricPolicy(Tolerance(), better="both"),
+}
+
+_FALLBACK_POLICY = MetricPolicy()
+
+
+def policy_for(metric: str, policies: dict | None = None) -> MetricPolicy:
+    table = policies if policies is not None else DEFAULT_POLICIES
+    if metric in table:
+        return table[metric]
+    # suffix match: "TLPGNN_CR_runtime_ms" inherits the runtime_ms policy
+    parts = metric.split("_")
+    for i in range(1, len(parts)):
+        suffix = "_".join(parts[i:])
+        if suffix in table:
+            return table[suffix]
+    return _FALLBACK_POLICY
+
+
+@dataclass(frozen=True)
+class TrendDelta:
+    """One metric compared against the recorded trajectory."""
+
+    metric: str
+    baseline: float
+    candidate: float
+    policy: MetricPolicy
+    verdict: str  # "ok" | "regressed" | "improved"
+
+    @property
+    def rel_delta(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.candidate == 0 else float("inf")
+        return (self.candidate - self.baseline) / abs(self.baseline)
+
+    def describe(self) -> str:
+        tag = {"ok": "ok", "regressed": "REGRESSED", "improved": "improved"}[
+            self.verdict
+        ]
+        return (
+            f"{self.metric:<28} {self.baseline:>14.6g} -> "
+            f"{self.candidate:>14.6g}  ({self.rel_delta:+.2%})  [{tag}]"
+        )
+
+
+@dataclass
+class TrendDiff:
+    """HEAD vs the recorded trajectory of one store."""
+
+    store: str
+    baseline_rev: str
+    candidate_rev: str
+    deltas: list[TrendDelta]
+    missing_metrics: list[str]
+
+    @property
+    def regressions(self) -> list[TrendDelta]:
+        return [d for d in self.deltas if d.verdict == "regressed"]
+
+    @property
+    def improvements(self) -> list[TrendDelta]:
+        return [d for d in self.deltas if d.verdict == "improved"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing_metrics
+
+    def render(self) -> str:
+        lines = [
+            f"trend {self.store}: baseline rev {self.baseline_rev} -> "
+            f"HEAD ({self.candidate_rev})"
+        ]
+        for d in self.deltas:
+            lines.append("  " + d.describe())
+        for m in self.missing_metrics:
+            lines.append(f"  {m:<28} missing at HEAD  [REGRESSED]")
+        n_reg = len(self.regressions) + len(self.missing_metrics)
+        if self.ok:
+            verdict = "PASS: no perf regressions vs recorded trajectory"
+            if self.improvements:
+                verdict += (
+                    f" ({len(self.improvements)} improvement(s) — "
+                    "consider re-recording the baseline)"
+                )
+        else:
+            verdict = (
+                f"FAIL: {n_reg} metric(s) regressed: "
+                + ", ".join(
+                    [d.metric for d in self.regressions]
+                    + self.missing_metrics
+                )
+            )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+class TrendStore:
+    """Append-only trajectory of one benchmark's metrics, one JSON file."""
+
+    def __init__(self, path: str | Path, *, name: str | None = None):
+        self.path = Path(path)
+        stem = self.path.stem
+        self.name = name or (
+            stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+        )
+
+    # ------------------------------------------------------------------
+    def load(self) -> dict:
+        """The store document (an empty skeleton when the file is absent)."""
+        if not self.path.exists():
+            return {
+                "schema_version": TREND_SCHEMA_VERSION,
+                "name": self.name,
+                "points": [],
+            }
+        with open(self.path) as fh:
+            doc = json.load(fh)
+        version = doc.get("schema_version")
+        if version != TREND_SCHEMA_VERSION:
+            raise ValueError(
+                f"{self.path}: trend schema {version!r} != supported "
+                f"{TREND_SCHEMA_VERSION}"
+            )
+        if "points" not in doc:
+            raise ValueError(f"{self.path}: not a trend store")
+        return doc
+
+    def points(self, *, fingerprint: str | None = None) -> list[dict]:
+        pts = self.load()["points"]
+        if fingerprint is None:
+            return pts
+        return [p for p in pts if p.get("fingerprint") == fingerprint]
+
+    def latest(self, *, fingerprint: str | None = None) -> dict | None:
+        pts = self.points(fingerprint=fingerprint)
+        return pts[-1] if pts else None
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        metrics: dict,
+        *,
+        fingerprint: str,
+        rev: str | None = None,
+        meta: dict | None = None,
+        timestamp: float | None = None,
+    ) -> dict:
+        """Append one trajectory point; returns the recorded point."""
+        clean = {}
+        for key, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(
+                    f"trend metrics must be numeric: {key}={value!r}"
+                )
+            clean[key] = float(value)
+        point = {
+            "rev": rev if rev is not None else git_rev(self.path.parent),
+            "recorded_unix": time.time() if timestamp is None else timestamp,
+            "fingerprint": fingerprint,
+            "metrics": clean,
+        }
+        if meta:
+            point["meta"] = meta
+        doc = self.load()
+        doc["points"].append(point)
+        self.path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        return point
+
+    # ------------------------------------------------------------------
+    def compare(
+        self,
+        candidate_metrics: dict,
+        *,
+        fingerprint: str,
+        rev: str | None = None,
+        policies: dict | None = None,
+    ) -> TrendDiff | None:
+        """HEAD metrics vs the latest matching point (None = no baseline)."""
+        baseline = self.latest(fingerprint=fingerprint)
+        if baseline is None:
+            return None
+        deltas: list[TrendDelta] = []
+        missing: list[str] = []
+        for metric, base_value in sorted(baseline["metrics"].items()):
+            if metric not in candidate_metrics:
+                missing.append(metric)
+                continue
+            policy = policy_for(metric, policies)
+            cand_value = float(candidate_metrics[metric])
+            deltas.append(
+                TrendDelta(
+                    metric=metric,
+                    baseline=float(base_value),
+                    candidate=cand_value,
+                    policy=policy,
+                    verdict=policy.classify(float(base_value), cand_value),
+                )
+            )
+        return TrendDiff(
+            store=self.name,
+            baseline_rev=baseline.get("rev", "unknown"),
+            candidate_rev=rev if rev is not None else git_rev(self.path.parent),
+            deltas=deltas,
+            missing_metrics=missing,
+        )

@@ -156,6 +156,28 @@ class PlanCache:
             "evictions": self.evictions,
         }
 
+    def publish(self, registry=None) -> None:
+        """Publish the cache's state into a metrics registry (the installed
+        one by default; no-op when none).
+
+        Materializes both per-lookup counters — ``plan_cache_hit`` and
+        ``plan_cache_miss`` — even at zero, so every consumer (``repro
+        serve --metrics-out``, ``run_system`` sweeps) exposes the same
+        counter set regardless of which events actually fired, plus
+        ``plan_cache_{hits,misses,evictions,entries}`` gauges carrying the
+        cache's lifetime state.
+        """
+        registry = registry if registry is not None else get_registry()
+        if registry is None:
+            return
+        registry.counter("plan_cache_hit")
+        registry.counter("plan_cache_miss")
+        snap = self.snapshot()
+        registry.gauge("plan_cache_entries").set(snap["entries"])
+        registry.gauge("plan_cache_hits").set(snap["hits"])
+        registry.gauge("plan_cache_misses").set(snap["misses"])
+        registry.gauge("plan_cache_evictions").set(snap["evictions"])
+
     # ------------------------------------------------------------------
     @staticmethod
     def _publish(name: str, labels: dict) -> None:

@@ -11,20 +11,34 @@ from __future__ import annotations
 import numpy as np
 
 from ..models.convspec import reference_aggregate
+from ..obs.reqtrace import current_batch_context
 from ..obs.tracer import span
 from .ir import ExecutionPlan
 
 __all__ = ["execute_plan"]
 
 
+def _request_tags() -> dict:
+    """Request-level attribution for kernel spans: when this execution
+    happens on behalf of a served batch, tag the span with its ids."""
+    bctx = current_batch_context()
+    if bctx is None:
+        return {}
+    return {"batch": bctx.bid, "rids": list(bctx.rids)}
+
+
 def execute_plan(plan: ExecutionPlan) -> np.ndarray:
     """Produce the plan's output features (the execute stage)."""
     step = plan.compute
     if step.kind == "kernel":
-        with span("kernel.run", kernel=step.kernel.name):
+        with span("kernel.run", kernel=step.kernel.name, **_request_tags()):
             output = step.kernel.run(step.workload)
     elif step.kind == "reference":
-        with span("kernel.run", kernel=step.label or plan.pipeline_name):
+        with span(
+            "kernel.run",
+            kernel=step.label or plan.pipeline_name,
+            **_request_tags(),
+        ):
             output = reference_aggregate(step.workload)
     else:  # pragma: no cover - lowering rules only emit the two kinds
         raise ValueError(f"unknown compute kind {step.kind!r}")

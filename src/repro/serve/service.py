@@ -29,6 +29,15 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.reqtrace import (
+    BatchContext,
+    KernelSpan,
+    RequestContext,
+    get_request_collector,
+    pop_batch_context,
+    push_batch_context,
+)
+from ..obs.slo import SLO, SLOMonitor, default_rules
 from ..obs.tracer import span
 from ..gpusim.streams import MultiStreamSimulator
 from .accounting import LatencyAccountant
@@ -60,6 +69,11 @@ class ServeConfig:
     burst_factor: float = 8.0
     burst_len: int = 16
     seed: int = 7
+    #: per-request latency objective (simulated ms); None disables SLO
+    #: monitoring for the run
+    slo_ms: float | None = None
+    #: target good fraction of the SLO (0.99 = 1% error budget)
+    slo_objective: float = 0.99
 
     def trace(self, num_vertices: int | None = None) -> list[Request]:
         """Generate this config's deterministic request trace."""
@@ -109,6 +123,9 @@ class ServeReport:
     offline_runtime_ms: float | None = None
     #: per-request records for fine-grained assertions
     accountant: LatencyAccountant = field(default_factory=LatencyAccountant)
+    #: SLO monitor summary (burn rates, alerts, attribution); None when
+    #: the config declares no SLO
+    slo: dict | None = None
 
     @property
     def shed_fraction(self) -> float:
@@ -136,6 +153,25 @@ class ServeReport:
         registry.gauge("serve_avg_batch", **tags).set(self.avg_batch)
         registry.gauge("serve_avg_concurrency", **tags).set(self.avg_concurrency)
         registry.gauge("serve_offered_rate_hz", **tags).set(self.config.rate_hz)
+        if self.accountant.records:
+            hist = registry.histogram("serve_latency_ms", **tags)
+            for rec in self.accountant.records:
+                hist.observe(rec.latency_s * 1e3, exemplar=rec.request.rid)
+        if self.slo is not None:
+            for klass, stats in self.slo["classes"].items():
+                slo_tags = {**tags, "klass": klass}
+                registry.gauge("slo_budget_used", **slo_tags).set(
+                    stats["budget_used"]
+                )
+                registry.counter("slo_bad_latency", **slo_tags).inc(
+                    stats["bad_latency"]
+                )
+                registry.counter("slo_bad_shed", **slo_tags).inc(
+                    stats["bad_shed"]
+                )
+            registry.counter("slo_alerts_fired", **tags).inc(
+                len(self.slo["alerts"])
+            )
 
     def summary(self) -> str:
         cfg = self.config
@@ -162,6 +198,17 @@ class ServeReport:
                 f"  offline    : single-request runtime "
                 f"{self.offline_runtime_ms:.4f} ms (run_system reference)"
             )
+        if self.slo is not None:
+            n_alerts = len(self.slo["alerts"])
+            worst = max(
+                (s["budget_used"] for s in self.slo["classes"].values()),
+                default=0.0,
+            )
+            lines.append(
+                f"  slo        : target {cfg.slo_ms:.4f} ms @ "
+                f"{cfg.slo_objective:.2%}; budget used {worst:.1%}, "
+                f"{n_alerts} burn-rate alert(s)"
+            )
         return "\n".join(lines)
 
 
@@ -184,43 +231,97 @@ class InferenceService:
         batcher = MicroBatcher(max_batch=cfg.max_batch, window_s=cfg.window_s)
         admission = AdmissionController(queue_depth=cfg.queue_depth)
         accountant = LatencyAccountant()
-        #: batch id -> (requests, dispatch_s, kernels still in flight)
+        collector = get_request_collector()
+        monitor: SLOMonitor | None = None
+        if cfg.slo_ms is not None:
+            monitor = SLOMonitor(
+                [
+                    SLO(
+                        klass=klass,
+                        latency_ms=cfg.slo_ms,
+                        objective=cfg.slo_objective,
+                    )
+                    for klass in sorted({r.compat_key for r in requests})
+                    or [cfg.job]
+                ],
+                default_rules(max(cfg.num_requests, 1) / cfg.rate_hz),
+            )
+        #: batch id -> [requests, dispatch_s, kernels in flight, BatchContext]
         in_flight: dict[int, list] = {}
         num_batches = 0
+
+        def settle(batch, bctx, *, dispatch_s: float, finish_s: float) -> None:
+            """One batch fully finished: account, release, notify."""
+            for r in batch:
+                accountant.record(
+                    r,
+                    dispatch_s=dispatch_s,
+                    finish_s=finish_s,
+                    batch_size=len(batch),
+                )
+                if monitor is not None:
+                    monitor.observe_completion(
+                        r.compat_key,
+                        at_s=finish_s,
+                        latency_ms=(finish_s - r.arrival_s) * 1e3,
+                        rid=r.rid,
+                    )
+            if collector is not None and bctx is not None:
+                collector.record_finish(bctx, finish_s=finish_s)
+            admission.release(len(batch))
 
         def absorb_completions() -> None:
             for c in sim.take_completions():
                 state = in_flight[c.kernel.tag]
                 state[2] -= 1
-                if state[2] == 0:
-                    batch, dispatch_s, _ = state
-                    for r in batch:
-                        accountant.record(
-                            r,
-                            dispatch_s=dispatch_s,
+                if collector is not None and state[3] is not None:
+                    collector.record_kernel(
+                        state[3],
+                        KernelSpan(
+                            name=c.kernel.name,
+                            stream=c.stream,
+                            enqueue_s=c.enqueue_s,
+                            launch_start_s=c.launch_start_s,
+                            ready_s=c.ready_s,
+                            start_s=c.start_s,
                             finish_s=c.finish_s,
-                            batch_size=len(batch),
-                        )
-                    admission.release(len(batch))
+                        ),
+                    )
+                if state[2] == 0:
+                    batch, dispatch_s, _, bctx = state
+                    settle(
+                        batch, bctx, dispatch_s=dispatch_s, finish_s=c.finish_s
+                    )
                     del in_flight[c.kernel.tag]
 
         def dispatch(batch: list[Request], now_s: float) -> None:
             nonlocal num_batches
-            plan = self.planner.plan(batch)
             bid = num_batches
             num_batches += 1
+            bctx = None
+            if collector is not None:
+                bctx = BatchContext(
+                    bid=bid,
+                    klass=batch[0].compat_key,
+                    rids=tuple(r.rid for r in batch),
+                )
+                collector.record_dispatch(bctx, dispatch_s=now_s)
+                push_batch_context(bctx)
+            try:
+                plan = self.planner.plan(batch)
+            finally:
+                if bctx is not None:
+                    pop_batch_context()
             if not plan:  # zero-work plan: complete at dispatch time
-                for r in batch:
-                    accountant.record(
-                        r, dispatch_s=now_s, finish_s=now_s,
-                        batch_size=len(batch),
-                    )
-                admission.release(len(batch))
+                settle(batch, bctx, dispatch_s=now_s, finish_s=now_s)
                 return
             stream = min(range(cfg.num_streams), key=sim.pending_work_s)
-            in_flight[bid] = [batch, now_s, len(plan)]
+            in_flight[bid] = [batch, now_s, len(plan), bctx]
             for kernel in plan:
-                sim.submit(kernel.with_tag(bid), stream=stream, at_s=now_s)
+                kernel = kernel.with_tag(bid)
+                if bctx is not None:
+                    kernel = kernel.with_ctx(bctx)
+                sim.submit(kernel, stream=stream, at_s=now_s)
 
         with span(
             "serve.run", label=self.label, requests=len(requests)
@@ -246,6 +347,22 @@ class InferenceService:
                     i += 1
                     if admission.try_admit():
                         batcher.add(request, now_s=now)
+                        if collector is not None:
+                            collector.record_admit(
+                                RequestContext(request.rid, request.compat_key),
+                                arrival_s=request.arrival_s,
+                                enqueue_s=now,
+                            )
+                    else:
+                        if collector is not None:
+                            collector.record_shed(
+                                RequestContext(request.rid, request.compat_key),
+                                at_s=now,
+                            )
+                        if monitor is not None:
+                            monitor.observe_shed(
+                                request.compat_key, at_s=now, rid=request.rid
+                            )
                 for batch in batcher.pop_ready(now):
                     dispatch(batch, now)
             sim.drain()
@@ -280,6 +397,12 @@ class InferenceService:
             ),
             accountant=accountant,
         )
+        if monitor is not None:
+            end_s = max(
+                sim.makespan_s,
+                requests[-1].arrival_s if requests else 0.0,
+            )
+            report.slo = monitor.summary(end_s)
         if report.arrived != report.admitted + report.shed:  # pragma: no cover
             raise RuntimeError("admission conservation violated")
         if report.admitted != report.completed:  # pragma: no cover

@@ -145,3 +145,52 @@ class TestDiff:
         result = diff_runs(base, cand)
         assert not result.fingerprint_match
         assert "WARNING" in result.render()
+
+
+class TestEdgeCases:
+    def test_empty_archive_has_no_runs_or_latest(self, tmp_path):
+        archive = ProfileArchive(tmp_path / "fresh")
+        assert archive.runs() == []
+        assert archive.latest() is None
+        assert archive.latest(fingerprint="anything") is None
+
+    def test_diff_of_empty_metric_sets_passes(self):
+        empty = {"fingerprint": "fp", "metrics": {}}
+        result = diff_runs(empty, empty)
+        assert result.ok
+        assert result.deltas == [] and result.missing_metrics == []
+        assert "PASS" in result.render()
+
+    def test_string_metrics_are_skipped_not_compared(self):
+        base = {"fingerprint": "fp",
+                "metrics": {"system": "TLPGNN", "runtime_ms": 1.0}}
+        cand = {"fingerprint": "fp",
+                "metrics": {"system": "OTHER", "runtime_ms": 1.0}}
+        result = diff_runs(base, cand)
+        assert result.ok
+        assert [d.metric for d in result.deltas] == ["runtime_ms"]
+
+    def test_missing_metric_ignores_tolerance_overrides(self):
+        # a metric absent from the candidate is a regression even under
+        # an arbitrarily loose tolerance — absence is not drift
+        base = {"fingerprint": "fp", "metrics": {"runtime_ms": 1.0}}
+        cand = {"fingerprint": "fp", "metrics": {}}
+        loose = {"runtime_ms": Tolerance(rel=1e9, abs=1e9)}
+        result = diff_runs(base, cand, tolerances=loose)
+        assert not result.ok
+        assert result.missing_metrics == ["runtime_ms"]
+        assert "missing from candidate" in result.render()
+
+    def test_extra_candidate_metrics_are_ignored(self):
+        base = {"fingerprint": "fp", "metrics": {"runtime_ms": 1.0}}
+        cand = {"fingerprint": "fp",
+                "metrics": {"runtime_ms": 1.0, "new_metric": 42.0}}
+        assert diff_runs(base, cand).ok
+
+    def test_zero_baseline_rel_delta(self):
+        base = {"fingerprint": "fp", "metrics": {"extra_counter": 0.0}}
+        cand = {"fingerprint": "fp", "metrics": {"extra_counter": 1.0}}
+        result = diff_runs(base, cand)
+        delta, = result.deltas
+        assert delta.rel_delta == float("inf")
+        assert delta.regressed  # 0 -> 1 exceeds any relative band

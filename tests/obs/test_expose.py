@@ -1,0 +1,119 @@
+"""Prometheus text exposition: grammar, histograms, exemplars, JSONL."""
+
+from repro.obs.expose import records_from_jsonl, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry():
+    r = MetricsRegistry()
+    r.counter("requests_total", system="TLPGNN").inc(3)
+    r.gauge("occupancy").set(0.5)
+    return r
+
+
+class TestScalars:
+    def test_type_lines_and_values(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{system="TLPGNN"} 3' in text
+        assert "# TYPE occupancy gauge" in text
+        assert "occupancy 0.5" in text
+        assert text.endswith("\n")
+
+    def test_registry_and_snapshot_render_identically(self):
+        r = _registry()
+        assert render_prometheus(r) == render_prometheus(r.snapshot())
+
+    def test_empty_source_renders_empty(self):
+        assert render_prometheus([]) == ""
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_output_is_sorted_and_stable(self):
+        a = MetricsRegistry()
+        a.counter("zz").inc()
+        a.counter("aa", x="2").inc()
+        a.counter("aa", x="1").inc()
+        text = render_prometheus(a)
+        assert text.index("aa") < text.index("zz")
+        assert text.index('x="1"') < text.index('x="2"')
+
+    def test_name_and_label_sanitization(self):
+        r = MetricsRegistry()
+        r.counter("9bad-name", **{"label": 'va"l\\ue'}).inc()
+        text = render_prometheus(r)
+        assert "_bad_name" in text  # leading digit + dash sanitized
+        assert '\\"' in text and "\\\\" in text  # value escaped, not name
+
+    def test_integral_floats_render_as_ints(self):
+        r = MetricsRegistry()
+        r.gauge("n").set(4.0)
+        assert "n 4\n" in render_prometheus(r)
+
+
+class TestHistograms:
+    def _histogram_registry(self):
+        r = MetricsRegistry()
+        h = r.histogram("latency_ms", edges=[1.0, 2.0], serve="s")
+        h.observe(0.5, exemplar=1)
+        h.observe(1.5, exemplar=2)
+        h.observe(1.7, exemplar=3)
+        h.observe(9.0, exemplar=53)
+        return r
+
+    def test_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(self._histogram_registry())
+        assert "# TYPE latency_ms histogram" in text
+        lines = [line for line in text.splitlines() if "_bucket" in line]
+        assert 'le="1"' in lines[0] and lines[0].split(" ")[1] == "1"
+        assert 'le="2"' in lines[1] and lines[1].split(" ")[1] == "3"
+        assert 'le="+Inf"' in lines[2] and lines[2].split(" ")[1] == "4"
+
+    def test_sum_and_count_series(self):
+        text = render_prometheus(self._histogram_registry())
+        assert 'latency_ms_count{serve="s"} 4' in text
+        assert 'latency_ms_sum{serve="s"} 12.7' in text
+
+    def test_exemplars_attach_to_their_bucket(self):
+        text = render_prometheus(self._histogram_registry())
+        inf_line = next(
+            line for line in text.splitlines() if 'le="+Inf"' in line
+        )
+        assert '# {rid="53"} 9' in inf_line
+        mid_line = next(
+            line for line in text.splitlines() if 'le="2"' in line
+        )
+        # the largest observation of the bucket wins the exemplar slot
+        assert '# {rid="3"} 1.7' in mid_line
+
+
+class TestJsonlRoundTrip:
+    def test_last_snapshot_wins(self, tmp_path):
+        r = _registry()
+        path = tmp_path / "metrics.jsonl"
+        r.dump_jsonl(path, timestamp=1.0)
+        r.counter("requests_total", system="TLPGNN").inc(2)
+        r.dump_jsonl(path, timestamp=2.0)
+        records = records_from_jsonl(path)
+        by_name = {rec["name"]: rec for rec in records}
+        assert by_name["requests_total"]["value"] == 5  # not 3
+        assert len(records) == 2  # one record per metric, not per dump
+
+    def test_histogram_survives_the_round_trip(self, tmp_path):
+        r = MetricsRegistry()
+        r.histogram("latency_ms", edges=[1.0]).observe(3.0, exemplar=7)
+        path = tmp_path / "metrics.jsonl"
+        r.dump_jsonl(path, timestamp=1.0)
+        text = render_prometheus(records_from_jsonl(path))
+        assert "# TYPE latency_ms histogram" in text
+        assert 'latency_ms_bucket{le="+Inf"} 1 # {rid="7"} 3' in text
+        assert "latency_ms_sum 3" in text
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(
+            '{"name": "a", "type": "counter", "labels": {}, "value": 1}\n'
+            "\n"
+            '{"name": "a", "type": "counter", "labels": {}, "value": 2}\n'
+        )
+        records = records_from_jsonl(path)
+        assert len(records) == 1 and records[0]["value"] == 2

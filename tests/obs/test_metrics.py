@@ -98,6 +98,78 @@ class TestReportPublishing:
         assert rec["labels"]["run"] == "baseline"
 
 
+class TestHistogram:
+    def _hist(self):
+        r = MetricsRegistry()
+        h = r.histogram("latency_ms", edges=[1.0, 2.0, 4.0])
+        for value, rid in [(0.5, 10), (1.5, 11), (3.0, 12), (9.0, 13)]:
+            h.observe(value, exemplar=rid)
+        return r, h
+
+    def test_counts_sum_and_value(self):
+        _, h = self._hist()
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4 and h.value == 4.0
+        assert h.sum == pytest.approx(14.0)
+
+    def test_quantile_returns_bucket_edge(self):
+        _, h = self._hist()
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(0.75) == 4.0
+        assert h.quantile(1.0) == float("inf")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("empty")
+        assert h.quantile(0.99) == 0.0
+        assert h.tail_exemplars(0.99) == []
+
+    def test_largest_observation_wins_the_exemplar(self):
+        r = MetricsRegistry()
+        h = r.histogram("latency_ms", edges=[10.0])
+        h.observe(3.0, exemplar=1)
+        h.observe(7.0, exemplar=2)
+        h.observe(5.0, exemplar=3)
+        assert h.exemplars[0] == (2, 7.0)
+
+    def test_tail_exemplars_cover_the_p99_buckets(self):
+        _, h = self._hist()
+        tail = h.tail_exemplars(0.99)
+        assert (13, 9.0) in tail  # the overflow bucket's exemplar
+        assert all(value >= 4.0 for _, value in tail) or tail == [(13, 9.0)]
+
+    def test_registry_reuses_and_type_checks(self):
+        r, h = self._hist()
+        assert r.histogram("latency_ms") is h
+        r.counter("c")
+        with pytest.raises(TypeError):
+            r.histogram("c")
+        with pytest.raises(TypeError):
+            r.gauge("latency_ms")
+
+    def test_snapshot_and_jsonl_include_buckets(self, tmp_path):
+        r, h = self._hist()
+        rec = r.snapshot()[0]
+        assert rec["type"] == "histogram"
+        assert rec["value"] == 4.0 and rec["sum"] == pytest.approx(14.0)
+        les = [b["le"] for b in rec["buckets"]]
+        assert les == [1.0, 2.0, 4.0, "+Inf"]
+        assert rec["buckets"][-1]["exemplar"] == {"id": 13, "value": 9.0}
+        path = tmp_path / "m.jsonl"
+        assert r.dump_jsonl(path, timestamp=1.0) == 1
+        loaded = json.loads(path.read_text())
+        assert loaded["buckets"] == json.loads(json.dumps(rec["buckets"]))
+
+    def test_default_edges_span_us_to_seconds(self):
+        from repro.obs.metrics import default_latency_edges_ms
+
+        edges = default_latency_edges_ms()
+        assert edges[0] == pytest.approx(1e-3)
+        assert edges[-1] < 1e4 <= edges[-1] * 2
+        assert all(b == pytest.approx(2 * a) for a, b in zip(edges, edges[1:]))
+
+
 class TestJsonlSink:
     def test_dump_appends_valid_jsonl(self, tmp_path):
         r = MetricsRegistry()

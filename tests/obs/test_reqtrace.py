@@ -1,0 +1,217 @@
+"""Request-trace collector: span trees, stage partition, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs.reqtrace import (
+    BatchContext,
+    KernelSpan,
+    RequestContext,
+    RequestTraceCollector,
+    current_batch_context,
+    get_request_collector,
+    pop_batch_context,
+    push_batch_context,
+    set_request_collector,
+)
+
+
+def _kernel(name="spmm", stream=0, *, enqueue=1.0, launch=0.1, exec_=0.4,
+            wait=0.0):
+    """One KernelSpan: enqueue -> launch for ``launch`` s -> wait ``wait``
+    s in the stream -> execute for ``exec_`` s."""
+    ready = enqueue + launch
+    start = ready + wait
+    return KernelSpan(
+        name=name, stream=stream, enqueue_s=enqueue, launch_start_s=enqueue,
+        ready_s=ready, start_s=start, finish_s=start + exec_,
+    )
+
+
+def _one_request(collector, *, rid=0, arrival=0.0, enqueue=0.0,
+                 dispatch=1.0, kernels=(), finish=1.5):
+    ctx = RequestContext(rid, "full")
+    collector.record_admit(ctx, arrival_s=arrival, enqueue_s=enqueue)
+    bctx = BatchContext(bid=0, klass="full", rids=(rid,))
+    collector.record_dispatch(bctx, dispatch_s=dispatch)
+    for k in kernels:
+        collector.record_kernel(bctx, k)
+    collector.record_finish(bctx, finish_s=finish)
+    return collector.get(rid)
+
+
+class TestKernelSpan:
+    def test_launch_and_exec_durations(self):
+        k = _kernel(launch=0.1, exec_=0.4, wait=0.2)
+        assert k.launch_s == pytest.approx(0.1)
+        assert k.exec_s == pytest.approx(0.4)
+
+
+class TestStagePartition:
+    def test_stages_sum_to_latency(self):
+        trace = _one_request(
+            RequestTraceCollector(), kernels=[_kernel()], finish=1.5
+        )
+        stages = trace.stages()
+        assert stages["batch"] == pytest.approx(1.0)   # enqueue 0 -> dispatch 1
+        assert stages["launch"] == pytest.approx(0.1)
+        assert stages["kernel"] == pytest.approx(0.4)
+        assert stages["queue"] == pytest.approx(0.0)   # no waits anywhere
+        assert sum(stages.values()) == pytest.approx(trace.latency_s)
+
+    def test_queue_absorbs_stream_waits(self):
+        # the kernel sat 0.2 s in the stream FIFO before starting
+        trace = _one_request(
+            RequestTraceCollector(),
+            kernels=[_kernel(wait=0.2)], finish=1.7,
+        )
+        assert trace.stages()["queue"] == pytest.approx(0.2)
+        assert sum(trace.stages().values()) == pytest.approx(trace.latency_s)
+
+    def test_queue_includes_admission_delay(self):
+        # arrival 0, admitted (enqueued) only at 0.3: admission processing
+        trace = _one_request(
+            RequestTraceCollector(),
+            arrival=0.0, enqueue=0.3, dispatch=1.0,
+            kernels=[_kernel()], finish=1.5,
+        )
+        assert trace.stages()["queue"] == pytest.approx(0.3)
+        assert trace.stages()["batch"] == pytest.approx(0.7)
+        assert sum(trace.stages().values()) == pytest.approx(trace.latency_s)
+
+    def test_open_trace_has_zero_latency(self):
+        collector = RequestTraceCollector()
+        ctx = RequestContext(0, "full")
+        collector.record_admit(ctx, arrival_s=0.0, enqueue_s=0.0)
+        trace = collector.get(0)
+        assert not trace.completed
+        assert trace.latency_s == 0.0
+        assert sum(trace.stages().values()) == 0.0
+
+    def test_as_dict_stages_sum_to_latency_ms(self):
+        trace = _one_request(
+            RequestTraceCollector(), kernels=[_kernel(), _kernel("gemm")],
+            finish=2.0,
+        )
+        d = trace.as_dict()
+        assert sum(d["stages_ms"].values()) == pytest.approx(d["latency_ms"])
+        assert len(d["kernels"]) == 2
+
+
+class TestCollector:
+    def test_batch_members_share_one_kernel_list(self):
+        collector = RequestTraceCollector()
+        for rid in (0, 1):
+            collector.record_admit(
+                RequestContext(rid, "full"), arrival_s=0.0, enqueue_s=0.0
+            )
+        bctx = BatchContext(bid=0, klass="full", rids=(0, 1))
+        collector.record_dispatch(bctx, dispatch_s=0.5)
+        collector.record_kernel(bctx, _kernel())
+        collector.record_finish(bctx, finish_s=1.5)
+        a, b = collector.get(0), collector.get(1)
+        assert a.kernels is b.kernels  # one list per batch, not per request
+        assert a.batch_size == b.batch_size == 2
+
+    def test_kernels_recorded_before_dispatch_still_attach(self):
+        # completions can be absorbed before record_dispatch runs for a
+        # later batch sharing the id space — setdefault keeps them
+        collector = RequestTraceCollector()
+        collector.record_admit(
+            RequestContext(0, "full"), arrival_s=0.0, enqueue_s=0.0
+        )
+        bctx = BatchContext(bid=0, klass="full", rids=(0,))
+        collector.record_kernel(bctx, _kernel())
+        collector.record_dispatch(bctx, dispatch_s=0.5)
+        collector.record_finish(bctx, finish_s=1.5)
+        assert len(collector.get(0).kernels) == 1
+
+    def test_shed_trace(self):
+        collector = RequestTraceCollector()
+        collector.record_shed(RequestContext(9, "full"), at_s=0.25)
+        trace = collector.get(9)
+        assert trace.shed and not trace.completed
+        assert collector.shed == [trace]
+        assert "SHED" in trace.render_tree()
+
+    def test_get_unknown_rid_returns_none(self):
+        assert RequestTraceCollector().get(404) is None
+
+    def test_slowest_orders_by_latency(self):
+        collector = RequestTraceCollector()
+        for rid, finish in [(0, 1.0), (1, 3.0), (2, 2.0)]:
+            ctx = RequestContext(rid, "full")
+            collector.record_admit(ctx, arrival_s=0.0, enqueue_s=0.0)
+            bctx = BatchContext(bid=rid, klass="full", rids=(rid,))
+            collector.record_dispatch(bctx, dispatch_s=0.5)
+            collector.record_finish(bctx, finish_s=finish)
+        assert [t.ctx.rid for t in collector.slowest(2)] == [1, 2]
+
+    def test_render_tree_lists_stages_and_kernels(self):
+        trace = _one_request(
+            RequestTraceCollector(), kernels=[_kernel("spmm")], finish=1.5
+        )
+        tree = trace.render_tree()
+        for label in ("request #0", "queue", "batch", "launch", "kernel",
+                      "spmm"):
+            assert label in tree
+
+
+class TestModuleGlobals:
+    def test_disabled_by_default(self):
+        assert get_request_collector() is None
+
+    def test_set_returns_previous(self):
+        c = RequestTraceCollector()
+        assert set_request_collector(c) is None
+        assert get_request_collector() is c
+        assert set_request_collector(None) is c
+        assert get_request_collector() is None
+
+    def test_batch_context_stack(self):
+        assert current_batch_context() is None
+        bctx = BatchContext(bid=0, klass="full", rids=(0,))
+        push_batch_context(bctx)
+        try:
+            assert current_batch_context() is bctx
+        finally:
+            assert pop_batch_context() is bctx
+        assert current_batch_context() is None
+        assert pop_batch_context() is None  # empty stack is not an error
+
+
+class TestChromeTrace:
+    def _collector(self):
+        collector = RequestTraceCollector()
+        _one_request(collector, kernels=[_kernel()], finish=1.5)
+        collector.record_shed(RequestContext(7, "full"), at_s=2.0)
+        return collector
+
+    def test_round_trips_through_json(self):
+        events = self._collector().to_chrome_trace()
+        assert json.loads(json.dumps(events)) == events
+
+    def test_required_keys_and_metadata_tracks(self):
+        events = self._collector().to_chrome_trace()
+        for ev in events:
+            for key in ("ph", "ts", "pid", "name"):
+                assert key in ev
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 2  # one requests process, one streams process
+
+    def test_request_track_carries_stage_breakdown(self):
+        events = self._collector().to_chrome_trace()
+        root = next(e for e in events if e["name"] == "request #0")
+        assert set(root["args"]["stages_ms"]) == {
+            "queue", "batch", "launch", "kernel",
+        }
+        assert root["dur"] == pytest.approx(1.5e6)  # simulated us
+
+    def test_stream_track_carries_rids(self):
+        events = self._collector().to_chrome_trace(stream_pid=4)
+        stream_events = [
+            e for e in events if e["pid"] == 4 and e["ph"] == "X"
+        ]
+        assert stream_events
+        assert all(e["args"]["rids"] == [0] for e in stream_events)

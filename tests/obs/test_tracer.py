@@ -101,6 +101,32 @@ class TestDisabledPath:
     def test_current_span_none_when_disabled(self):
         assert current_span() is None
 
+    def test_disabled_span_is_much_cheaper_than_enabled(self):
+        """Micro-benchmark guard: the no-op path must stay a fraction of
+        the enabled path's cost (one global load + a shared singleton vs
+        allocating and linking a real Span)."""
+        import timeit
+
+        assert get_tracer() is None
+
+        def hot():
+            with span("hot", k="v"):
+                pass
+
+        n = 20_000
+        t_off = min(timeit.repeat(hot, number=n, repeat=5))
+        t = Tracer()
+        previous = set_tracer(t)
+        try:
+            t_on = min(timeit.repeat(hot, number=n, repeat=5))
+        finally:
+            set_tracer(previous)
+        # generous 2x bound: the real gap is ~10x, but CI boxes are noisy
+        assert t_off < t_on / 2, (
+            f"disabled span path too slow: {t_off:.4f}s vs enabled "
+            f"{t_on:.4f}s over {n} spans"
+        )
+
     def test_set_tracer_returns_previous(self):
         t = Tracer()
         assert set_tracer(t) is None

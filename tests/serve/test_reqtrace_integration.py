@@ -1,0 +1,175 @@
+"""Request tracing through the real serving loop.
+
+Acceptance (ISSUE 6): every completed request's four-stage breakdown
+(queue + batch + launch + kernel) sums to its end-to-end latency exactly,
+tracing is invisible to the served results (bit-identical reports on/off),
+and the published latency histogram keeps exemplar request ids for the
+p99 tail.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchConfig, get_dataset
+from repro.frameworks import SYSTEMS
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.reqtrace import RequestTraceCollector, set_request_collector
+from repro.serve import ServableModel, ServeConfig, serve_trace
+
+CONFIG = BenchConfig(feat_dim=16, max_edges=60_000, seed=7)
+
+
+def _servable(system_name="TLPGNN", model="gcn", abbr="CS"):
+    dataset = get_dataset(abbr, CONFIG)
+    return ServableModel(
+        SYSTEMS[system_name](), model, dataset,
+        feat_dim=CONFIG.feat_dim, spec=CONFIG.spec_for(dataset),
+        seed=CONFIG.seed,
+    )
+
+
+def _cfg(servable, *, load=2.0, num_requests=60, queue_depth=16, **kw):
+    return ServeConfig(
+        rate_hz=load / servable.offline_runtime_s,
+        num_requests=num_requests, max_batch=4, num_streams=2,
+        queue_depth=queue_depth, seed=11, **kw,
+    )
+
+
+@pytest.fixture
+def collector():
+    c = RequestTraceCollector()
+    previous = set_request_collector(c)
+    yield c
+    set_request_collector(previous)
+
+
+class TestStagePartition:
+    @pytest.mark.parametrize("system_name", ["TLPGNN", "DGL"])
+    def test_stages_sum_to_latency_for_every_request(
+        self, collector, system_name
+    ):
+        servable = _servable(system_name)
+        report = serve_trace(servable, _cfg(servable))
+        assert report.completed > 0
+        assert len(collector.completed) == report.completed
+        for trace in collector.completed:
+            total = sum(trace.stages().values())
+            assert total == pytest.approx(trace.latency_s, rel=1e-9), (
+                f"request #{trace.ctx.rid}: stages {trace.stages()} "
+                f"!= latency {trace.latency_s}"
+            )
+            # every stage is a non-negative duration
+            assert all(v >= -1e-12 for v in trace.stages().values())
+
+    def test_traced_latencies_match_the_accountant(self, collector):
+        servable = _servable()
+        report = serve_trace(servable, _cfg(servable))
+        by_rid = {
+            rec.request.rid: rec.latency_s
+            for rec in report.accountant.records
+        }
+        for trace in collector.completed:
+            assert trace.latency_s == pytest.approx(
+                by_rid[trace.ctx.rid], rel=1e-12
+            )
+
+    def test_shed_requests_are_recorded(self, collector):
+        servable = _servable()
+        report = serve_trace(
+            servable, _cfg(servable, load=6.0, queue_depth=4)
+        )
+        assert report.shed > 0
+        assert len(collector.shed) == report.shed
+        assert len(collector.completed) == report.completed
+
+    def test_batch_members_share_kernel_spans(self, collector):
+        servable = _servable()
+        report = serve_trace(servable, _cfg(servable, load=3.0))
+        assert report.avg_batch > 1.0  # overload actually batched
+        multi = [t for t in collector.completed if t.batch_size > 1]
+        assert multi
+        by_batch = {}
+        for t in multi:
+            by_batch.setdefault(t.batch_id, []).append(t)
+        shared = next(ts for ts in by_batch.values() if len(ts) > 1)
+        assert all(t.kernels is shared[0].kernels for t in shared)
+
+
+class TestInvisibility:
+    def test_report_bit_identical_with_tracing_on_and_off(self):
+        servable = _servable()
+        cfg = _cfg(servable)
+        off = serve_trace(servable, cfg)
+        c = RequestTraceCollector()
+        previous = set_request_collector(c)
+        try:
+            on = serve_trace(servable, cfg)
+        finally:
+            set_request_collector(previous)
+        assert len(c.completed) == on.completed  # tracing actually ran
+        for field in (
+            "arrived", "admitted", "shed", "completed", "num_batches",
+            "p50_ms", "p95_ms", "p99_ms", "mean_ms", "throughput_rps",
+            "makespan_s",
+        ):
+            assert getattr(off, field) == getattr(on, field), field
+        np.testing.assert_array_equal(
+            off.accountant.latencies_ms(), on.accountant.latencies_ms()
+        )
+
+
+class TestHistogramExemplars:
+    def test_p99_tail_carries_request_ids(self, collector):
+        servable = _servable()
+        report = serve_trace(servable, _cfg(servable, num_requests=80))
+        registry = MetricsRegistry()
+        report.publish(registry, system="TLPGNN", dataset="CS")
+        hist = registry.histogram(
+            "serve_latency_ms", serve=report.label,
+            system="TLPGNN", dataset="CS",
+        )
+        assert hist.count == report.completed
+        tail = hist.tail_exemplars(0.99)
+        assert tail, "p99 tail must keep exemplars"
+        completed_rids = {t.ctx.rid for t in collector.completed}
+        for rid, latency_ms in tail:
+            assert rid in completed_rids
+            # the exemplar points at the request the collector traced
+            assert collector.get(rid).latency_s * 1e3 == pytest.approx(
+                latency_ms
+            )
+        # the slowest request of the run is one of the tail exemplars
+        slowest = collector.slowest(1)[0]
+        assert slowest.ctx.rid in {rid for rid, _ in tail}
+
+
+class TestChromeExport:
+    def test_serving_trace_exports_loadable_chrome_json(
+        self, collector, tmp_path
+    ):
+        servable = _servable()
+        report = serve_trace(servable, _cfg(servable))
+        events = collector.to_chrome_trace()
+        target = tmp_path / "reqtrace.json"
+        target.write_text(json.dumps({"traceEvents": events}))
+        loaded = json.loads(target.read_text())["traceEvents"]
+        complete = [e for e in loaded if e["ph"] == "X"]
+        roots = [e for e in complete if e["name"].startswith("request #")]
+        assert len(roots) == report.completed
+        # kernel child spans sit inside their request's root interval
+        for root in roots:
+            tid = root["tid"]
+            children = [
+                e for e in complete
+                if e["tid"] == tid and e["pid"] == root["pid"] and e is not root
+            ]
+            assert children
+            for child in children:
+                assert child["ts"] >= root["ts"] - 1e-6
+                assert (
+                    child["ts"] + child["dur"]
+                    <= root["ts"] + root["dur"] + 1e-6
+                )

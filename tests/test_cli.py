@@ -199,6 +199,139 @@ class TestServe:
         assert get_registry() is None
 
 
+class TestServeTracing:
+    def test_tree_prints_slowest_span_trees(self):
+        code, out = run_cli(*ARGS, "serve", "--smoke", "--tree", "2")
+        assert code == 0
+        assert out.count("request #") >= 2
+        for stage in ("queue", "batch", "launch", "kernel"):
+            assert stage in out
+
+    def test_trace_writes_loadable_chrome_json(self, tmp_path):
+        target = tmp_path / "reqtrace.json"
+        code, out = run_cli(*ARGS, "serve", "--smoke",
+                            "--trace", str(target))
+        assert code == 0
+        assert f"wrote {target}" in out
+        events = json.loads(target.read_text())["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        assert any(e["name"].startswith("request #") for e in events)
+
+    def test_collector_uninstalled_afterwards(self, tmp_path):
+        from repro.obs.reqtrace import get_request_collector
+
+        run_cli(*ARGS, "serve", "--smoke", "--tree", "1")
+        assert get_request_collector() is None
+
+    def test_serve_slo_summary_and_metrics(self, tmp_path):
+        target = tmp_path / "metrics.jsonl"
+        code, out = run_cli(*ARGS, "serve", "--smoke", "--slo-ms", "0.5",
+                            "--metrics-out", str(target))
+        assert code == 0
+        assert "slo" in out and "burn-rate alert" in out
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        names = {r["name"] for r in records}
+        assert "slo_budget_used" in names
+        assert "serve_latency_ms" in names
+        # satellite 2: both plan-cache counters materialize, even at zero
+        assert "plan_cache_hit" in names and "plan_cache_miss" in names
+        hist = next(r for r in records if r["name"] == "serve_latency_ms")
+        exemplars = [
+            b["exemplar"] for b in hist["buckets"] if b["exemplar"]
+        ]
+        assert exemplars  # request ids survive into the JSONL dump
+
+
+class TestTopAndMetrics:
+    def test_top_renders_dashboard(self):
+        code, out = run_cli(*ARGS, "top", "--requests", "60", "--load", "0.4")
+        assert code == 0
+        assert "SLO" in out
+        assert "budget" in out
+        assert "#" in out or "-" in out  # the budget bar
+
+    def test_top_overload_fires(self):
+        code, out = run_cli(*ARGS, "top", "--requests", "80", "--load", "4.0",
+                            "--queue-depth", "8")
+        assert code == 0
+        assert "FIRING" in out
+
+    def test_top_unsupported_cell(self):
+        code, out = run_cli(*ARGS, "top", "--system", "GNNAdvisor",
+                            "--model", "gat")
+        assert code == 1
+        assert "cannot serve" in out
+
+    def test_metrics_self_contained_exposition(self):
+        code, out = run_cli(*ARGS, "metrics", "--requests", "32")
+        assert code == 0
+        assert "# TYPE serve_latency_ms histogram" in out
+        assert "serve_latency_ms_bucket" in out
+        assert "plan_cache_hit" in out and "plan_cache_miss" in out
+        assert 'rid="' in out  # exemplars rendered
+
+    def test_metrics_from_jsonl(self, tmp_path):
+        target = tmp_path / "metrics.jsonl"
+        code, _ = run_cli(*ARGS, "serve", "--smoke",
+                          "--metrics-out", str(target))
+        assert code == 0
+        code, out = run_cli("metrics", "--from-jsonl", str(target))
+        assert code == 0
+        assert "serve_requests_completed" in out
+        assert "# TYPE" in out
+
+    def test_metrics_from_missing_file_exits_two(self, tmp_path):
+        code, out = run_cli("metrics", "--from-jsonl",
+                            str(tmp_path / "nope.jsonl"))
+        assert code == 2
+        assert "error:" in out
+
+
+class TestRegress:
+    def test_record_then_compare_passes(self, tmp_path):
+        code, out = run_cli(*ARGS, "regress", "--probe", "serving",
+                            "--store-dir", str(tmp_path), "--record")
+        assert code == 0
+        store = tmp_path / "BENCH_serving.json"
+        assert store.exists()
+        doc = json.loads(store.read_text())
+        assert len(doc["points"]) == 1
+        assert doc["points"][0]["metrics"]["completed"] > 0
+        code, out = run_cli(*ARGS, "regress", "--probe", "serving",
+                            "--store-dir", str(tmp_path))
+        assert code == 0
+        assert "PASS" in out
+
+    def test_injected_slowdown_exits_nonzero(self, tmp_path):
+        run_cli(*ARGS, "regress", "--probe", "serving",
+                "--store-dir", str(tmp_path), "--record")
+        store = tmp_path / "BENCH_serving.json"
+        doc = json.loads(store.read_text())
+        # shrink the recorded latencies: HEAD now looks 2x slower
+        for key in ("p50_ms", "p95_ms", "p99_ms", "mean_ms"):
+            doc["points"][0]["metrics"][key] *= 0.5
+        store.write_text(json.dumps(doc))
+        code, out = run_cli(*ARGS, "regress", "--probe", "serving",
+                            "--store-dir", str(tmp_path))
+        assert code == 1
+        assert "FAIL" in out and "p99_ms" in out
+
+    def test_no_matching_baseline_is_informative_not_fatal(self, tmp_path):
+        code, out = run_cli(*ARGS, "regress", "--probe", "serving",
+                            "--store-dir", str(tmp_path))
+        assert code == 0
+        assert "no trajectory point" in out
+
+    def test_config_fingerprint_scopes_the_comparison(self, tmp_path):
+        run_cli(*ARGS, "regress", "--probe", "serving",
+                "--store-dir", str(tmp_path), "--record")
+        # a different scale cap fingerprints differently: no baseline
+        code, out = run_cli("--max-edges", "50000", "--seed", "7", "regress",
+                            "--probe", "serving", "--store-dir", str(tmp_path))
+        assert code == 0
+        assert "no trajectory point" in out
+
+
 class TestValidateAndReport:
     def test_validate_selected(self):
         code, out = run_cli(*ARGS, "validate", "--only", "table5-dashes")
