@@ -94,6 +94,7 @@ def run_system(
     config: BenchConfig,
     *,
     X: np.ndarray | None = None,
+    opt: str | None = None,
 ) -> SystemResult | None:
     """Run one (system, model, dataset) cell; None where the paper has a dash
     (unsupported model or capacity failure)."""
@@ -104,7 +105,9 @@ def run_system(
         system=system.name, model=model, dataset=dataset.spec.abbr,
     ) as sp:
         try:
-            result = system.run(model, dataset, X, config.spec_for(dataset))
+            result = system.run(
+                model, dataset, X, config.spec_for(dataset), opt=opt
+            )
         except (UnsupportedModelError, CapacityError) as exc:
             if sp is not None:
                 sp.set(dash=type(exc).__name__)

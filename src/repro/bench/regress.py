@@ -9,6 +9,10 @@ axis of the reproduction's performance story:
   runtime itself.
 * ``table5`` — the offline Table-5 core: each system's modeled runtime on
   the gcn/CR cell plus TLPGNN's speedup over the best baseline.
+* ``autotune`` — the ``repro.opt`` tuner on the gcn/CR cell: modeled ms
+  of the paper-fixed configuration, of the tuned winner, the
+  tuned-vs-fixed speedup, and the measurement count (budget adherence).
+  The tuned path is thereby part of the recorded perf trajectory.
 
 The same probe code runs in three places, which is what makes the
 trajectory comparable:
@@ -35,13 +39,14 @@ from ..frameworks import SYSTEMS
 from ..obs.archive import config_fingerprint
 from ..obs.trend import TrendDiff, TrendStore, git_rev
 from ..serve import ServableModel, ServeConfig, serve_trace
-from .harness import BenchConfig, get_dataset, run_system
+from .harness import BenchConfig, get_dataset, make_features, run_system
 
 __all__ = [
     "ProbeResult",
     "PROBES",
     "serving_probe",
     "table5_probe",
+    "autotune_probe",
     "default_store_path",
     "record_point",
     "compare_point",
@@ -145,7 +150,47 @@ def table5_probe(config: BenchConfig) -> ProbeResult:
     )
 
 
-PROBES = {"serving": serving_probe, "table5": table5_probe}
+#: tuner budget of the autotune probe (also its iteration-bound assert)
+_TUNE_BUDGET = 16
+
+
+def autotune_probe(config: BenchConfig) -> ProbeResult:
+    """Tune the TLPGNN gcn/CR cell and record the tuner's outcome."""
+    from ..opt import AutoTuner, TunedPlanStore
+
+    ds = get_dataset(_DATASET, config)
+    spec = config.spec_for(ds)
+    X = make_features(
+        ds.graph.num_vertices, config.feat_dim, seed=config.seed
+    )
+    # a private store: the probe must not leak tuned decisions into the
+    # process-wide store (regress runs alongside other probes)
+    tuner = AutoTuner(
+        budget=_TUNE_BUDGET, seed=config.seed, store=TunedPlanStore()
+    )
+    result = tuner.tune(SYSTEMS["TLPGNN"](), _MODEL, ds, X, spec)
+    return ProbeResult(
+        name="autotune",
+        metrics={
+            "fixed_ms": result.fixed_ms,
+            "tuned_ms": result.tuned_ms,
+            "speedup": result.speedup_vs_fixed,
+            "iterations": float(result.iterations),
+        },
+        fingerprint=_fingerprint(config, probe="autotune"),
+        meta={
+            "system": "TLPGNN", "model": _MODEL, "dataset": _DATASET,
+            "max_edges": config.max_edges, "budget": _TUNE_BUDGET,
+            "best_knobs": result.best_knobs,
+        },
+    )
+
+
+PROBES = {
+    "serving": serving_probe,
+    "table5": table5_probe,
+    "autotune": autotune_probe,
+}
 
 
 def default_store_path(name: str, root: str | Path = ".") -> Path:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..frameworks import SYSTEMS
+from ..opt import get_tuned_store
 from ..plan import get_plan_cache
 from .harness import BenchConfig, get_dataset, make_features, run_system
 from .report import TableResult, fmt_ms
@@ -20,23 +21,36 @@ __all__ = ["sweep_feature_dims", "sweep_scales", "sweep_grid"]
 
 
 class _CacheCounts:
-    """Delta of plan-cache hits/misses over one sweep (for the summary)."""
+    """Delta of plan-cache + tuned-plan-store counters over one sweep
+    (for the summary note)."""
 
     def __init__(self) -> None:
         cache = get_plan_cache()
         self._before = cache.snapshot() if cache is not None else None
+        self._tuned_before = get_tuned_store().snapshot()
 
     def note(self) -> str:
         cache = get_plan_cache()
-        if cache is None or self._before is None:
-            return "plan cache: disabled"
         # publish the full counter set into any installed registry — the
         # same set ``repro serve --metrics-out`` exposes
+        store = get_tuned_store()
+        store.publish()
+        tuned_after = store.snapshot()
+        tuned_hits = tuned_after["hits"] - self._tuned_before["hits"]
+        plans_tuned = tuned_after["tuned"] - self._tuned_before["tuned"]
+        tuner = (
+            f"; tuner: {plans_tuned} plan(s) tuned, "
+            f"{tuned_hits} tuned-plan hit(s)"
+            if plans_tuned or tuned_hits
+            else ""
+        )
+        if cache is None or self._before is None:
+            return "plan cache: disabled" + tuner
         cache.publish()
         after = cache.snapshot()
         hits = after["hits"] - self._before["hits"]
         misses = after["misses"] - self._before["misses"]
-        return f"plan cache: {hits} hit(s), {misses} miss(es)"
+        return f"plan cache: {hits} hit(s), {misses} miss(es)" + tuner
 
 
 def sweep_feature_dims(

@@ -34,6 +34,13 @@ regress             perf-regression observatory: re-run the recorded
 plan                lower one (dataset, model) cell and print each
                     system's ExecutionPlan (kernel list, balance choice,
                     fusion structure, content fingerprint)
+opt                 run the repro.opt pass pipeline on one cell and show
+                    each pass's rewrite decision (legality re-linted,
+                    profit scored with the shared cost model)
+tune                auto-tune the compute-kernel knob space of one or
+                    more cells (deterministic seeded search, budgeted);
+                    persists winners in the tuned-plan store that
+                    ``run --opt search`` / ``serve --opt search`` replay
 lint                statically analyze lowered plans for hazards, resource
                     limits, nondeterminism sources, and memory-access
                     patterns (coalescing / divergence / bounds — no
@@ -80,6 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dataset", default="CR")
     run.add_argument("--archive", default=None, metavar="DIR",
                      help="also record the profile into this archive directory")
+    run.add_argument("--opt", choices=["off", "safe", "search"], default=None,
+                     help="plan-IR optimizer level (see the opt command)")
 
     cmp_ = sub.add_parser("compare", help="run all systems on one cell")
     cmp_.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
@@ -160,6 +169,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "scenario under identical traces")
     sv.add_argument("--smoke", action="store_true",
                     help="small fast run + conservation self-check (CI)")
+    sv.add_argument("--opt", choices=["off", "safe", "search"], default=None,
+                    help="plan-IR optimizer level for the served pipeline "
+                    "(search consults the tuned-plan store first)")
 
     top = sub.add_parser(
         "top", help="serve with SLO monitoring and render the health "
@@ -203,7 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
         "regress", help="compare HEAD probes against the BENCH_*.json "
         "perf trajectory (exit 1 on regression)"
     )
-    rg.add_argument("--probe", choices=["serving", "table5", "all"],
+    rg.add_argument("--probe", choices=["serving", "table5", "autotune", "all"],
                     default="all")
     rg.add_argument("--store-dir", default=".", metavar="DIR",
                     help="directory holding the BENCH_<probe>.json trend "
@@ -249,6 +261,42 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("--explain", default=None, metavar="CODE",
                     help="print the registry entry for one finding code "
                     "(e.g. ACC002) and exit")
+
+    op = sub.add_parser(
+        "opt",
+        help="run the plan-IR optimizer pass pipeline on one cell and "
+        "show each pass's rewrite decision",
+    )
+    op.add_argument("dataset", help="dataset abbreviation (e.g. CR)")
+    op.add_argument("model", choices=["gcn", "gin", "sage", "gat"])
+    op.add_argument("--system", choices=sorted(SYSTEMS), default=None,
+                    help="limit to one system (default: all four)")
+    op.add_argument("--level", choices=["safe", "search"], default="search",
+                    help="optimizer level (default search)")
+    op.add_argument("--budget", type=int, default=32,
+                    help="max candidate plans a searching pass may score")
+    op.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit per-system pass records as a JSON array")
+
+    tn = sub.add_parser(
+        "tune",
+        help="auto-tune the compute-kernel knob space of one or more "
+        "cells; persists winners in the tuned-plan store",
+    )
+    tn.add_argument("--dataset", action="append", default=None,
+                    help="dataset abbreviation(s) (default: CR); repeatable")
+    tn.add_argument("--model", choices=["gcn", "gin", "sage", "gat"],
+                    default="gcn")
+    tn.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
+    tn.add_argument("--budget", type=int, default=32,
+                    help="max distinct candidate measurements per cell")
+    tn.add_argument("--store", default=None, metavar="FILE",
+                    help="load/save the tuned-plan store at this JSON path")
+    tn.add_argument("--warm", action="store_true",
+                    help="after tuning, run each cell with opt=search so "
+                    "the PlanCache holds the tuned plan")
+    tn.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit the tuning results as a JSON array")
     return p
 
 
@@ -282,7 +330,10 @@ def _archive_report(report, args, config, spec, out, *, graph=None) -> None:
 def cmd_run(args: argparse.Namespace, out) -> int:
     config = _config(args)
     dataset, X = _cell(args, config)
-    res = run_system(SYSTEMS[args.system](), args.model, dataset, config, X=X)
+    res = run_system(
+        SYSTEMS[args.system](), args.model, dataset, config, X=X,
+        opt=getattr(args, "opt", None),
+    )
     if res is None:
         print(
             f"{args.system} cannot run {args.model} on {args.dataset} "
@@ -474,6 +525,7 @@ def _make_servable(args: argparse.Namespace, config, out):
         servable = ServableModel(
             SYSTEMS[args.system](), args.model, dataset,
             feat_dim=config.feat_dim, spec=spec, seed=config.seed,
+            opt=getattr(args, "opt", None),
         )
     except UnsupportedModelError as exc:
         print(f"cannot serve: {exc}", file=out)
@@ -560,6 +612,11 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
             cache = get_plan_cache()
             if cache is not None:
                 cache.publish(registry)
+            # mirror the plan-cache counters with the tuner's activity
+            # (plans_tuned / tuned_plan_hit / tuned_plan_miss)
+            from .opt import get_tuned_store
+
+            get_tuned_store().publish(registry)
             n = registry.dump_jsonl(args.metrics_out)
             print(f"wrote {n} metrics to {args.metrics_out}", file=out)
         return rc
@@ -628,6 +685,9 @@ def cmd_metrics(args: argparse.Namespace, out) -> int:
         cache = get_plan_cache()
         if cache is not None:
             cache.publish(registry)
+        from .opt import get_tuned_store
+
+        get_tuned_store().publish(registry)
     finally:
         set_registry(previous)
     print(render_prometheus(registry), end="", file=out)
@@ -832,6 +892,135 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_opt(args: argparse.Namespace, out) -> int:
+    """Lower one cell per system, optimize it, and report each pass."""
+    import json
+
+    from .frameworks.base import CapacityError, UnsupportedModelError
+    from .opt import modeled_runtime_s, optimize_plan
+
+    config = _config(args)
+    dataset, X = _cell(args, config)
+    spec = config.spec_for(dataset)
+    names = [args.system] if args.system else sorted(SYSTEMS)
+    rows = []
+    optimized = 0
+    for name in names:
+        try:
+            plan = SYSTEMS[name]().lower(args.model, dataset, X, spec)
+        except (UnsupportedModelError, CapacityError) as exc:
+            if not args.as_json:
+                print(f"{name}: - ({type(exc).__name__}: {exc})\n", file=out)
+            continue
+        before_ms = modeled_runtime_s(plan, spec) * 1e3
+        new_plan, records = optimize_plan(
+            plan, spec, level=args.level, dataset=dataset, budget=args.budget
+        )
+        after_ms = modeled_runtime_s(new_plan, spec) * 1e3
+        rows.append(
+            {
+                "system": name,
+                "model": args.model,
+                "dataset": args.dataset,
+                "level": args.level,
+                "before_ms": before_ms,
+                "after_ms": after_ms,
+                "before_kernels": plan.num_kernels,
+                "after_kernels": new_plan.num_kernels,
+                "passes": [
+                    {
+                        "name": r.name,
+                        "applied": r.applied,
+                        "before_ms": r.before_ms,
+                        "after_ms": r.after_ms,
+                        "detail": r.detail,
+                    }
+                    for r in records
+                ],
+            }
+        )
+        if not args.as_json:
+            print(
+                f"{name}/{args.model} on {args.dataset}: "
+                f"{plan.num_kernels} -> {new_plan.num_kernels} kernel(s), "
+                f"{before_ms:.3f} -> {after_ms:.3f} ms (level {args.level})",
+                file=out,
+            )
+            for r in records:
+                print(f"  {r.render()}", file=out)
+            print(new_plan.describe(), file=out)
+            print(file=out)
+        optimized += 1
+    if args.as_json:
+        print(json.dumps(rows, indent=2), file=out)
+    return 0 if optimized else 1
+
+
+def cmd_tune(args: argparse.Namespace, out) -> int:
+    """Auto-tune cells; exit 1 if any tuned plan lost to the paper config."""
+    import json
+    import os
+
+    from .opt import AutoTuner, TunedPlanStore, get_tuned_store, set_tuned_store
+
+    config = _config(args)
+    datasets = args.dataset or ["CR"]
+    store = get_tuned_store()
+    previous = None
+    if args.store:
+        if os.path.exists(args.store):
+            store = TunedPlanStore.load(args.store)
+        else:
+            store = TunedPlanStore()
+        previous = set_tuned_store(store)
+    tuner = AutoTuner(budget=args.budget, seed=config.seed, store=store)
+    rows = []
+    rc = 0
+    try:
+        for abbr in datasets:
+            dataset = get_dataset(abbr, config)
+            spec = config.spec_for(dataset)
+            X = make_features(
+                dataset.graph.num_vertices, config.feat_dim, seed=config.seed
+            )
+            system = SYSTEMS[args.system]()
+            result = tuner.tune(system, args.model, dataset, X, spec)
+            row = result.as_dict()
+            row["dataset"] = abbr
+            rows.append(row)
+            if result.tuned_ms > result.fixed_ms:
+                rc = 1
+            if not args.as_json:
+                knobs = ", ".join(
+                    f"{k}={v}" for k, v in sorted(result.best_knobs.items())
+                )
+                print(
+                    f"{args.system}/{args.model} on {abbr}: "
+                    f"fixed {result.fixed_ms:.3f} ms -> tuned "
+                    f"{result.tuned_ms:.3f} ms "
+                    f"({result.speedup_vs_fixed:.3f}x, "
+                    f"{result.iterations} measurement(s) within budget "
+                    f"{args.budget})",
+                    file=out,
+                )
+                print(f"  winner: {knobs}", file=out)
+            if args.warm:
+                system.run(args.model, dataset, X, spec, opt="search")
+        if args.store:
+            store.save(args.store)
+            if not args.as_json:
+                print(
+                    f"saved {len(store)} tuned plan(s) to {args.store}",
+                    file=out,
+                )
+    finally:
+        if previous is not None:
+            set_tuned_store(previous)
+    if args.as_json:
+        print(json.dumps(rows, indent=2), file=out)
+    return rc
+
+
 _COMMANDS = {
     "datasets": cmd_datasets,
     "validate": cmd_validate,
@@ -848,6 +1037,8 @@ _COMMANDS = {
     "regress": cmd_regress,
     "plan": cmd_plan,
     "lint": cmd_lint,
+    "opt": cmd_opt,
+    "tune": cmd_tune,
 }
 
 

@@ -118,6 +118,7 @@ class GNNSystem(ABC):
         X: np.ndarray,
         spec: GPUSpec,
         dataset: Dataset | None,
+        opt: dict | None = None,
     ) -> str:
         return plan_fingerprint(
             system=self.name,
@@ -127,6 +128,7 @@ class GNNSystem(ABC):
             spec=spec,
             knobs=self.plan_knobs(),
             dataset=dataset,
+            opt=opt,
         )
 
     def lower(
@@ -157,6 +159,7 @@ class GNNSystem(ABC):
         *,
         rng: np.random.Generator | None = None,
         lint: str | None = None,
+        opt: str | None = None,
     ) -> SystemResult:
         """Execute the model's graph convolution and profile it.
 
@@ -165,17 +168,55 @@ class GNNSystem(ABC):
         finding, ``"warn"`` emits the report as a warning; either mode
         bypasses the plan cache (cache hits skip lowering, so there would
         be no ops to analyze).
+
+        ``opt`` selects the :mod:`repro.opt` pass-pipeline level applied
+        between lowering and execution — ``"off"`` (or None, the
+        default), ``"safe"``, or ``"search"``.  At ``"search"`` the
+        installed :class:`~repro.opt.TunedPlanStore` is consulted first:
+        a hit replays the persisted tuner decision instead of searching.
+        The optimizer context (level, tuner version, tuned knobs) is
+        part of the plan-cache fingerprint, so an untuned cached plan is
+        never served as a tuned one.
         """
         if lint not in (None, "warn", "strict"):
             raise ValueError(f"lint must be None, 'warn' or 'strict': {lint!r}")
+        from ..opt import (
+            OPT_LEVELS,
+            TUNER_VERSION,
+            get_tuned_store,
+            optimize_plan,
+            tuning_key,
+        )
+
+        if opt is not None and opt not in OPT_LEVELS:
+            raise ValueError(f"opt must be one of {OPT_LEVELS}: {opt!r}")
         model, graph, dataset = self._prepare(model, data)
         cache = get_plan_cache()
+        # resolve the optimizer context before the cache lookup — it is
+        # part of the content key ("off" means the pre-optimizer plan and
+        # deliberately shares the legacy opt=None fingerprint)
+        opt_ctx = None
+        tuned = None
+        if opt in ("safe", "search"):
+            if opt == "search":
+                tkey = tuning_key(
+                    system=self.name, model=model, graph=graph,
+                    X=X, spec=spec, dataset=dataset,
+                )
+                tuned = get_tuned_store().lookup(
+                    tkey, system=self.name, model=model
+                )
+            opt_ctx = {
+                "level": opt,
+                "tuner_version": TUNER_VERSION,
+                "tuned": tuned,
+            }
         # an explicit rng makes the cell content-unaddressable (the key
         # cannot capture caller-controlled randomness); a tracer demands
         # real execution, but the fingerprint itself stays valid
         key = None
         if rng is None:
-            key = self._fingerprint(model, graph, X, spec, dataset)
+            key = self._fingerprint(model, graph, X, spec, dataset, opt=opt_ctx)
         cacheable = (
             key is not None
             and cache is not None
@@ -212,6 +253,10 @@ class GNNSystem(ABC):
         ) as sp:
             plan = self._lower(model, graph, X, spec, dataset=dataset, rng=rng)
             plan.fingerprint = key
+            if opt in ("safe", "search"):
+                plan, _opt_records = optimize_plan(
+                    plan, spec, level=opt, dataset=dataset, tuned=tuned
+                )
             if lint is not None:
                 lint_report = lint_plan(plan, spec)
                 if lint == "strict" and lint_report.errors:

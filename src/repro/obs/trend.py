@@ -89,6 +89,12 @@ DEFAULT_POLICIES: dict[str, MetricPolicy] = {
     "mean_ms": MetricPolicy(Tolerance(rel=0.05), better="lower"),
     "runtime_ms": MetricPolicy(Tolerance(rel=0.05), better="lower"),
     "makespan_ms": MetricPolicy(Tolerance(rel=0.05), better="lower"),
+    # tuner outcomes: the winning plan getting slower is a regression;
+    # the fixed-config anchor is costed, not tuned, so it is symmetric
+    "tuned_ms": MetricPolicy(Tolerance(rel=0.05), better="lower"),
+    "fixed_ms": MetricPolicy(Tolerance(rel=0.05), better="both"),
+    # budget adherence: measurement count drift is a determinism bug
+    "iterations": MetricPolicy(Tolerance(), better="both"),
     # rates: higher is better
     "throughput_rps": MetricPolicy(Tolerance(rel=0.05), better="higher"),
     "sustained_rps": MetricPolicy(Tolerance(rel=0.05), better="higher"),

@@ -64,8 +64,16 @@ def plan_fingerprint(
     spec: GPUSpec,
     knobs: dict | None = None,
     dataset=None,
+    opt: dict | None = None,
 ) -> str:
-    """Content sha256 identifying one lowered + analyzed cell."""
+    """Content sha256 identifying one lowered + analyzed cell.
+
+    ``opt`` carries the optimizer context (level, tuner version, tuned
+    knob dict) of an ``opt=``-enabled run — part of the key so an
+    untuned cached plan is never served as a tuned one and vice versa.
+    ``None`` (the pre-optimizer run path) is deliberately excluded from
+    the payload, keeping every historical fingerprint stable.
+    """
     payload = {
         "system": system,
         "model": model,
@@ -82,6 +90,8 @@ def plan_fingerprint(
             else None
         ),
     }
+    if opt is not None:
+        payload["opt"] = opt
     h = hashlib.sha256(
         json.dumps(payload, sort_keys=True, default=str).encode()
     )

@@ -89,6 +89,7 @@ class ServableModel:
         feat_dim: int = 32,
         spec: GPUSpec = V100,
         seed: int = 7,
+        opt: str | None = None,
     ):
         model = model.lower()
         if not system.supports(model):
@@ -101,6 +102,10 @@ class ServableModel:
         self.graph = data.graph if isinstance(data, Dataset) else data
         self.spec = spec
         self.seed = seed
+        #: optimizer level forwarded to every ``system.run`` call (None =
+        #: the pre-optimizer path); at "search" a warm deploy picks up
+        #: persisted tuner decisions through the TunedPlanStore
+        self.opt = opt
         # Same feature initialization as bench.harness.make_features (kept
         # local: bench imports the serve scenario, so serve must not import
         # bench back).
@@ -121,7 +126,9 @@ class ServableModel:
     def offline_timing(self) -> PipelineTiming:
         """The cached B=1 full-graph pipeline timing (profiled on demand)."""
         if self._full_timing is None:
-            result = self.system.run(self.model, self.data, self.X, self.spec)
+            result = self.system.run(
+                self.model, self.data, self.X, self.spec, opt=self.opt
+            )
             self._full_timing = result.report.timing
             self.plan_info = result.plan
         return self._full_timing
@@ -146,7 +153,9 @@ class ServableModel:
             np.concatenate([np.asarray(r.targets, dtype=np.int64) for r in batch])
         )
         sub, X_sub = self._target_subgraph(targets)
-        result = self.system.run(self.model, sub, X_sub, self.spec)
+        result = self.system.run(
+            self.model, sub, X_sub, self.spec, opt=self.opt
+        )
         return plan_from_timing(result.report.timing)
 
     def _target_subgraph(

@@ -1,0 +1,116 @@
+"""Cost-model vs micro-simulator agreement on mapping decisions.
+
+The tuner's profit metric is the analytical cost model; the micro-sim
+replays exact per-warp transactions.  Over a small grid of (graph, model)
+cells the two must pick the same winning kernel — except in cells listed
+in the committed tolerance file (``tests/data/opt_tolerance.json``),
+where the two models are *known* to weight latency-hiding differently.
+gSuite-style: the test fails only on NEW divergence, and fails when the
+tolerance file carries stale entries that now agree (so it can only
+shrink)."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.gpusim.config import V100
+from repro.graph import chain, erdos_renyi, power_law, star
+from repro.kernels import (
+    EdgeParallelWarpKernel,
+    PullCTAKernel,
+    PullThreadKernel,
+    TLPGNNKernel,
+)
+from repro.models import build_conv
+from repro.opt import microsim_cycles, rank_agreement
+from repro.plan.ir import plan_for_kernel
+
+TOLERANCE_FILE = Path(__file__).parent.parent / "data" / "opt_tolerance.json"
+
+#: mid-scale grid: large enough that the roofline terms (not launch
+#: overhead) decide the ranking, small enough to replay warp-by-warp fast
+GRAPHS = {
+    "er_mid": lambda: erdos_renyi(4000, 40000, seed=3, name="er_mid"),
+    "pl_mid": lambda: power_law(
+        4000, 32000, exponent=2.1, seed=5, name="pl_mid"
+    ),
+    "chain_big": lambda: chain(4096),
+    "star_big": lambda: star(4097),
+}
+MODELS = ("gcn", "gin")
+
+
+def _candidates(workload):
+    cands = [
+        TLPGNNKernel(assignment="hybrid"),
+        PullCTAKernel(warps_per_block=4),
+        PullThreadKernel(),
+        EdgeParallelWarpKernel(),
+    ]
+    return [k for k in cands if k.supports(workload)]
+
+
+def _cells():
+    return [(g, m) for g in sorted(GRAPHS) for m in MODELS]
+
+
+def _agreement(graph_name, model):
+    graph = GRAPHS[graph_name]()
+    rng = np.random.default_rng(7)
+    X = rng.standard_normal((graph.num_vertices, 16), dtype=np.float32)
+    workload = build_conv(model, graph, X, rng=rng)
+    kernels = _candidates(workload)
+    plan = plan_for_kernel(kernels[0], workload)
+    return rank_agreement(plan, kernels, V100)
+
+
+def _tolerated():
+    return set(json.loads(TOLERANCE_FILE.read_text())["divergent_cells"])
+
+
+@pytest.mark.parametrize(
+    "graph_name,model", _cells(), ids=[f"{g}/{m}" for g, m in _cells()]
+)
+def test_cost_model_and_microsim_pick_same_winner(graph_name, model):
+    cell = f"{graph_name}/{model}"
+    result = _agreement(graph_name, model)
+    if cell in _tolerated():
+        # known divergence: must still diverge, else the entry is stale
+        assert not result["agree"], (
+            f"{cell} now agrees — remove it from {TOLERANCE_FILE.name}"
+        )
+    else:
+        assert result["agree"], (
+            f"NEW cost-model/micro-sim divergence on {cell}: "
+            f"cost ranks {result['cost_rank']}, sim ranks "
+            f"{result['sim_rank']} — investigate, or add the cell to "
+            f"{TOLERANCE_FILE.name} with a justification"
+        )
+
+
+def test_rankings_cover_all_candidates():
+    result = _agreement("er_mid", "gcn")
+    assert sorted(result["cost_rank"]) == sorted(result["sim_rank"])
+    assert len(result["cost_rank"]) >= 3
+
+
+def test_microsim_cycles_positive_and_deterministic():
+    graph = GRAPHS["er_mid"]()
+    rng = np.random.default_rng(7)
+    X = rng.standard_normal((graph.num_vertices, 16), dtype=np.float32)
+    workload = build_conv("gcn", graph, X, rng=rng)
+    kernel = TLPGNNKernel(assignment="hybrid")
+    a = microsim_cycles(kernel, workload, V100)
+    b = microsim_cycles(kernel, workload, V100)
+    assert a > 0
+    assert a == b
+
+
+def test_tolerance_file_is_well_formed():
+    doc = json.loads(TOLERANCE_FILE.read_text())
+    cells = {f"{g}/{m}" for g, m in _cells()}
+    assert set(doc) == {"description", "divergent_cells"}
+    unknown = set(doc["divergent_cells"]) - cells
+    assert not unknown, f"tolerance entries outside the grid: {unknown}"

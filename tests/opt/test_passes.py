@@ -1,0 +1,284 @@
+"""Unit tests of the optimizer passes: legality from the effect tables."""
+
+import pytest
+
+from repro.bench.harness import BenchConfig, get_dataset, make_features
+from repro.frameworks import SYSTEMS
+from repro.kernels.fusion import streaming_kernel_stats
+from repro.lint import access
+from repro.lint.access import KernelAccess
+from repro.lint.effects import LaunchEnvelope, effect_table
+from repro.opt import (
+    DeadIntermediateElimination,
+    ElementwiseFusion,
+    IllegalRewriteError,
+    PassContext,
+    PassPipeline,
+    PlanPass,
+)
+from repro.plan.ir import KernelOp
+
+ENVELOPE = LaunchEnvelope(threads_per_block=256)
+
+
+def _ew_op(
+    name,
+    *,
+    rb=(),
+    wb="tmp:x",
+    gather_via=None,
+    gathered=(),
+    scatter=False,
+    atomics=False,
+):
+    """A synthetic streaming elementwise op with a declared effect table.
+
+    ``gathered`` names read buffers fetched through an indirection (via
+    ``gather_via``); ``scatter`` makes the write indirect; ``atomics``
+    turns the write into an atomic merge.
+    """
+    pats = []
+    for b in rb:
+        if b in gathered:
+            pats.append(access.gather(b, via=gather_via or "idx"))
+        else:
+            pats.append(access.lane_stream(b, row="flat"))
+    if scatter:
+        pats.append(access.scatter(wb, role="write", via=gather_via or "idx"))
+    else:
+        pats.append(access.lane_stream(wb, role="write", row="flat"))
+    eff = (
+        effect_table(reads=tuple(rb), atomics=(wb,), atomic_ops=4096,
+                     launch=ENVELOPE)
+        if atomics
+        else effect_table(reads=tuple(rb), writes=(wb,), launch=ENVELOPE)
+    )
+    return KernelOp(
+        name=name,
+        kind="modeled",
+        analyze_fn=lambda spec, _n=name: streaming_kernel_stats(
+            _n, 4096, spec,
+            read_bytes_per_item=8.0, write_bytes_per_item=4.0,
+            instr_per_item=3.0,
+        ),
+        effects=eff,
+        access=KernelAccess(patterns=tuple(pats)),
+    )
+
+
+@pytest.fixture(scope="module")
+def dgl_cell():
+    config = BenchConfig()
+    ds = get_dataset("CR", config)
+    X = make_features(ds.graph.num_vertices, config.feat_dim, seed=config.seed)
+    spec = config.spec_for(ds)
+    plan = SYSTEMS["DGL"]().lower("gcn", ds, X, spec)
+    return plan, spec, ds
+
+
+def _with_ops(plan, ops):
+    from dataclasses import replace
+
+    return replace(plan, ops=list(ops))
+
+
+def _ctx(spec, dataset=None):
+    return PassContext(spec=spec, dataset=dataset)
+
+
+# ----------------------------------------------------------------------
+# dead-intermediate elimination
+# ----------------------------------------------------------------------
+class TestDCE:
+    def test_removes_dead_transient_chain(self, dgl_cell):
+        plan, spec, _ = dgl_cell
+        live = _ew_op("live", rb=("x",), wb="y")
+        a = _ew_op("dead_a", rb=("x",), wb="tmp:d1")
+        b = _ew_op("dead_b", rb=("tmp:d1",), wb="tmp:d2")
+        # b's output is unread -> dead; removing b orphans a -> fixpoint
+        out = DeadIntermediateElimination().apply(
+            _with_ops(plan, [a, b, live]), _ctx(spec)
+        )
+        assert out is not None
+        assert [op.name for op in out.ops] == ["live"]
+
+    def test_keeps_read_transients_and_real_outputs(self, dgl_cell):
+        plan, spec, _ = dgl_cell
+        a = _ew_op("prod", rb=("x",), wb="tmp:t")
+        b = _ew_op("cons", rb=("tmp:t",), wb="y")
+        assert (
+            DeadIntermediateElimination().apply(
+                _with_ops(plan, [a, b]), _ctx(spec)
+            )
+            is None
+        )
+
+    def test_keeps_atomic_merges(self, dgl_cell):
+        plan, spec, _ = dgl_cell
+        a = _ew_op("merge", rb=("x",), wb="tmp:t", atomics=True)
+        assert (
+            DeadIntermediateElimination().apply(
+                _with_ops(plan, [a]), _ctx(spec)
+            )
+            is None
+        )
+
+    def test_keeps_gather_index_buffers(self, dgl_cell):
+        plan, spec, _ = dgl_cell
+        # idx's only consumer is b's indirection (via), not a plain read
+        a = _ew_op("mkidx", rb=("x",), wb="tmp:idx")
+        b = _ew_op(
+            "gath", rb=("feat",), wb="y",
+            gathered=("feat",), gather_via="tmp:idx",
+        )
+        assert (
+            DeadIntermediateElimination().apply(
+                _with_ops(plan, [a, b]), _ctx(spec)
+            )
+            is None
+        )
+
+    def test_prunes_real_dgl_pipeline(self, dgl_cell):
+        """The lowered DGL gcn pipeline carries launches whose transients
+        nothing reads (csr bookkeeping); DCE must find at least one."""
+        plan, spec, _ = dgl_cell
+        out = DeadIntermediateElimination().apply(plan, _ctx(spec))
+        if out is not None:
+            assert len(out.ops) < len(plan.ops)
+
+
+# ----------------------------------------------------------------------
+# elementwise fusion
+# ----------------------------------------------------------------------
+class TestFusion:
+    def test_fuses_adjacent_chain_to_one_launch(self, dgl_cell):
+        plan, spec, _ = dgl_cell
+        a = _ew_op("a", rb=("x",), wb="tmp:a")
+        b = _ew_op("b", rb=("tmp:a",), wb="tmp:b")
+        c = _ew_op("c", rb=("tmp:b",), wb="out")
+        out = ElementwiseFusion().apply(_with_ops(plan, [a, b, c]), _ctx(spec))
+        assert out is not None
+        assert len(out.ops) == 1
+        fused = out.ops[0]
+        assert fused.name == "a+b+c"
+        assert fused.fused
+        # the transient vanished from the dataflow; work is conserved
+        assert tuple(fused.effects.reads) == ("x",)
+        assert tuple(fused.effects.writes) == ("out",)
+        sa, _ = a.analyze(spec)
+        sb, _ = b.analyze(spec)
+        sc, _ = c.analyze(spec)
+        sf, _ = fused.analyze(spec)
+        assert sf.instructions == sa.instructions + sb.instructions + sc.instructions
+        assert sf.load_sectors < sa.load_sectors + sb.load_sectors + sc.load_sectors
+
+    def test_indirect_consumer_read_blocks_fusion(self, dgl_cell):
+        plan, spec, _ = dgl_cell
+        a = _ew_op("a", rb=("x",), wb="tmp:a")
+        # consumer gathers tmp:a through an indirection: other units'
+        # producer rows cannot stay in registers across the boundary
+        b = _ew_op(
+            "b", rb=("tmp:a",), wb="out",
+            gathered=("tmp:a",), gather_via="idx",
+        )
+        assert ElementwiseFusion().apply(_with_ops(plan, [a, b]), _ctx(spec)) is None
+
+    def test_transient_as_index_buffer_blocks_fusion(self, dgl_cell):
+        plan, spec, _ = dgl_cell
+        a = _ew_op("a", rb=("x",), wb="tmp:a")
+        b = _ew_op(
+            "b", rb=("tmp:a", "feat"), wb="out",
+            gathered=("feat",), gather_via="tmp:a",
+        )
+        assert ElementwiseFusion().apply(_with_ops(plan, [a, b]), _ctx(spec)) is None
+
+    def test_scattered_producer_write_blocks_fusion(self, dgl_cell):
+        plan, spec, _ = dgl_cell
+        a = _ew_op("a", rb=("x",), wb="tmp:a", scatter=True, gather_via="idx")
+        b = _ew_op("b", rb=("tmp:a",), wb="out")
+        assert ElementwiseFusion().apply(_with_ops(plan, [a, b]), _ctx(spec)) is None
+
+    def test_third_party_reader_blocks_fusion(self, dgl_cell):
+        plan, spec, _ = dgl_cell
+        a = _ew_op("a", rb=("x",), wb="tmp:a")
+        b = _ew_op("b", rb=("tmp:a",), wb="y")
+        c = _ew_op("c", rb=("tmp:a",), wb="z")
+        assert (
+            ElementwiseFusion().apply(_with_ops(plan, [a, b, c]), _ctx(spec))
+            is None
+        )
+
+    def test_atomics_block_fusion(self, dgl_cell):
+        plan, spec, _ = dgl_cell
+        a = _ew_op("a", rb=("x",), wb="tmp:a", atomics=True)
+        b = _ew_op("b", rb=("tmp:a",), wb="out")
+        assert ElementwiseFusion().apply(_with_ops(plan, [a, b]), _ctx(spec)) is None
+
+    def test_fuses_real_dgl_pipeline(self, dgl_cell):
+        """The DGL gcn 6-launch pipeline must lose launches to fusion."""
+        plan, spec, _ = dgl_cell
+        out = ElementwiseFusion().apply(plan, _ctx(spec))
+        assert out is not None
+        assert len(out.ops) < len(plan.ops)
+        assert any(op.fused for op in out.ops)
+
+
+# ----------------------------------------------------------------------
+# pipeline gates
+# ----------------------------------------------------------------------
+class _StripEffects(PlanPass):
+    """Deliberately broken: drops an op's effect table (HAZ001)."""
+
+    name = "strip-effects"
+
+    def apply(self, plan, ctx):
+        from dataclasses import replace
+
+        ops = list(plan.ops)
+        for i, op in enumerate(ops):
+            if op.kind == "modeled":
+                ops[i] = KernelOp(
+                    name=op.name, kind="modeled", analyze_fn=op.analyze_fn,
+                    effects=None, access=None,
+                )
+                return replace(plan, ops=ops)
+        return None
+
+
+class _DuplicateOps(PlanPass):
+    """Legal but never profitable: doubles every launch."""
+
+    name = "duplicate-ops"
+
+    def apply(self, plan, ctx):
+        from dataclasses import replace
+
+        return replace(plan, ops=list(plan.ops) + list(plan.ops))
+
+
+class TestPipelineGates:
+    def test_illegal_rewrite_raises(self, dgl_cell):
+        plan, spec, ds = dgl_cell
+        pipe = PassPipeline(passes=[_StripEffects()])
+        with pytest.raises(IllegalRewriteError) as exc:
+            pipe.run(plan, spec, dataset=ds)
+        assert exc.value.pass_name == "strip-effects"
+        assert any(f.rule == "HAZ001" for f in exc.value.findings)
+
+    def test_unprofitable_rewrite_skipped_not_raised(self, dgl_cell):
+        plan, spec, ds = dgl_cell
+        pipe = PassPipeline(passes=[_DuplicateOps()])
+        out, records = pipe.run(plan, spec, dataset=ds)
+        assert out is plan  # rejected rewrite leaves the plan untouched
+        assert len(records) == 1
+        assert not records[0].applied
+        assert records[0].detail == "unprofitable"
+        assert records[0].after_ms > records[0].before_ms
+
+    def test_profitable_rewrite_recorded(self, dgl_cell):
+        plan, spec, ds = dgl_cell
+        pipe = PassPipeline(passes=[ElementwiseFusion()])
+        out, records = pipe.run(plan, spec, dataset=ds)
+        assert records[0].applied
+        assert records[0].after_ms <= records[0].before_ms
+        assert len(out.ops) < len(plan.ops)

@@ -1,0 +1,211 @@
+"""Auto-tuner contracts: determinism, budget, tie-or-win, persistence,
+fingerprint separation, and the metrics mirror."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BenchConfig, get_dataset, make_features
+from repro.frameworks import SYSTEMS
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.opt import (
+    PAPER_FIXED_KNOBS,
+    TUNER_VERSION,
+    AutoTuner,
+    TunedPlanStore,
+    get_tuned_store,
+    set_tuned_store,
+    tuning_key,
+)
+from repro.plan.cache import plan_fingerprint
+
+
+@pytest.fixture(scope="module")
+def cell():
+    config = BenchConfig()
+    ds = get_dataset("CR", config)
+    X = make_features(ds.graph.num_vertices, config.feat_dim, seed=config.seed)
+    return ds, X, config.spec_for(ds)
+
+
+@pytest.fixture
+def fresh_store():
+    """Install an empty process store; restore the old one afterwards."""
+    store = TunedPlanStore()
+    previous = set_tuned_store(store)
+    yield store
+    set_tuned_store(previous)
+
+
+def _tune(cell, *, budget=12, seed=0, store=None):
+    ds, X, spec = cell
+    # note: an empty TunedPlanStore is falsy (len == 0), so `store or ...`
+    # would silently discard it — compare against None explicitly
+    tuner = AutoTuner(
+        budget=budget,
+        seed=seed,
+        store=store if store is not None else TunedPlanStore(),
+    )
+    return tuner.tune(SYSTEMS["TLPGNN"](), "gcn", ds, X, spec)
+
+
+class TestSearch:
+    def test_tie_or_win_vs_paper_fixed_config(self, cell):
+        result = _tune(cell)
+        assert result.tuned_ms <= result.fixed_ms * (1 + 1e-12)
+        assert result.speedup_vs_fixed >= 1.0 - 1e-12
+
+    def test_iterations_within_budget(self, cell):
+        for budget in (2, 5, 12):
+            result = _tune(cell, budget=budget)
+            assert 0 < result.iterations <= budget
+
+    def test_deterministic_replay(self, cell):
+        a = _tune(cell, budget=10, seed=3)
+        b = _tune(cell, budget=10, seed=3)
+        assert a.best_knobs == b.best_knobs
+        assert a.tuned_ms == b.tuned_ms
+        assert a.fixed_ms == b.fixed_ms
+        assert [t.knobs for t in a.trials] == [t.knobs for t in b.trials]
+
+    def test_anchors_always_measured(self, cell):
+        result = _tune(cell, budget=2)
+        assert result.trials[0].knobs == PAPER_FIXED_KNOBS
+        assert result.fixed_ms == result.trials[0].modeled_ms
+
+    def test_budget_floor_enforced(self):
+        with pytest.raises(ValueError):
+            AutoTuner(budget=1)
+
+
+class TestStore:
+    def test_record_and_lookup(self, cell):
+        ds, X, spec = cell
+        store = TunedPlanStore()
+        result = _tune(cell, store=store)
+        assert len(store) == 1
+        assert result.key in store
+        assert store.lookup(result.key) == result.best_knobs
+        assert store.lookup("missing") is None
+        assert store.snapshot() == {
+            "entries": 1, "hits": 1, "misses": 1, "tuned": 1,
+        }
+
+    def test_save_load_roundtrip(self, cell, tmp_path):
+        store = TunedPlanStore()
+        result = _tune(cell, store=store)
+        path = tmp_path / "tuned.json"
+        store.save(path)
+        loaded = TunedPlanStore.load(path)
+        assert len(loaded) == 1
+        assert loaded.lookup(result.key) == result.best_knobs
+
+    def test_version_mismatch_dropped_on_load(self, cell, tmp_path):
+        store = TunedPlanStore()
+        result = _tune(cell, store=store)
+        store._entries[result.key]["version"] = TUNER_VERSION + 1
+        path = tmp_path / "tuned.json"
+        store.save(path)
+        assert len(TunedPlanStore.load(path)) == 0
+
+    def test_metrics_mirror(self, cell):
+        ds, X, spec = cell
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            store = TunedPlanStore()
+            result = _tune(cell, store=store)
+            store.lookup(result.key, system="TLPGNN", model="gcn")
+            store.lookup("missing")
+            store.publish(registry)
+            snap = {
+                (m["name"], tuple(sorted(m.get("labels", {}).items()))): m
+                for m in registry.snapshot()
+            }
+            assert snap[("plans_tuned", ())]["value"] == 1
+            assert snap[("tuned_plan_entries", ())]["value"] == 1
+            hit = [
+                m for m in registry.snapshot()
+                if m["name"] == "tuned_plan_hit" and m.get("labels")
+            ]
+            assert hit and hit[0]["value"] == 1
+        finally:
+            set_registry(previous)
+
+
+class TestFingerprintSeparation:
+    """Satellite: an untuned cached plan is never served as tuned."""
+
+    def _key(self, cell, opt):
+        ds, X, spec = cell
+        return plan_fingerprint(
+            system="TLPGNN", model="gcn", graph=ds.graph, X=X, spec=spec,
+            knobs={}, dataset=ds, opt=opt,
+        )
+
+    def test_opt_context_changes_fingerprint(self, cell):
+        base = self._key(cell, None)
+        safe = self._key(
+            cell, {"level": "safe", "tuner_version": TUNER_VERSION,
+                   "tuned": None},
+        )
+        tuned = self._key(
+            cell, {"level": "search", "tuner_version": TUNER_VERSION,
+                   "tuned": dict(PAPER_FIXED_KNOBS)},
+        )
+        untuned = self._key(
+            cell, {"level": "search", "tuner_version": TUNER_VERSION,
+                   "tuned": None},
+        )
+        assert len({base, safe, tuned, untuned}) == 4
+
+    def test_tuner_version_changes_fingerprint(self, cell):
+        a = self._key(
+            cell, {"level": "search", "tuner_version": TUNER_VERSION,
+                   "tuned": None},
+        )
+        b = self._key(
+            cell, {"level": "search", "tuner_version": TUNER_VERSION + 1,
+                   "tuned": None},
+        )
+        assert a != b
+
+    def test_legacy_fingerprint_stable_without_opt(self, cell):
+        """opt=None must hash exactly like the pre-optimizer payload."""
+        ds, X, spec = cell
+        legacy = plan_fingerprint(
+            system="TLPGNN", model="gcn", graph=ds.graph, X=X, spec=spec,
+            knobs={}, dataset=ds,
+        )
+        assert legacy == self._key(cell, None)
+
+
+class TestRunIntegration:
+    def test_search_run_hits_tuned_store(self, cell, fresh_store):
+        ds, X, spec = cell
+        tuner = AutoTuner(budget=8, seed=0)  # records into process store
+        result = tuner.tune(SYSTEMS["TLPGNN"](), "gcn", ds, X, spec)
+        before = get_tuned_store().snapshot()
+        out = SYSTEMS["TLPGNN"]().run("gcn", ds, X, spec, opt="search")
+        after = get_tuned_store().snapshot()
+        assert after["hits"] == before["hits"] + 1
+        # the tuned path still computes the exact reference bytes
+        base = SYSTEMS["TLPGNN"]().run("gcn", ds, X, spec).output
+        assert np.array_equal(out.output, base)
+        assert result.key in get_tuned_store()
+
+    def test_tuning_key_ignores_feature_values(self, cell):
+        ds, X, spec = cell
+        a = tuning_key(
+            system="TLPGNN", model="gcn", graph=ds.graph, X=X, spec=spec,
+            dataset=ds,
+        )
+        b = tuning_key(
+            system="TLPGNN", model="gcn", graph=ds.graph,
+            X=np.zeros_like(X), spec=spec, dataset=ds,
+        )
+        c = tuning_key(
+            system="TLPGNN", model="gcn", graph=ds.graph,
+            X=X[:, : X.shape[1] // 2], spec=spec, dataset=ds,
+        )
+        assert a == b  # values don't matter
+        assert a != c  # geometry does
