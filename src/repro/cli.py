@@ -48,6 +48,11 @@ lint                statically analyze lowered plans for hazards, resource
                     --baseline suppresses known findings, --explain CODE
                     documents one rule; --strict exits 1 on error-severity
                     findings (with --baseline: on any unsuppressed finding)
+udf                 describe a registered message-passing UDF: the spec
+                    signature, what each framework derives from its terms
+                    (support decision + kernel pipeline), and the fused
+                    kernel's derived effect/access tables; with no model
+                    argument, list every registered model
 """
 
 from __future__ import annotations
@@ -61,6 +66,14 @@ from .gpusim import roofline
 from .obs import ProfileArchive, Tracer, diff_runs, load_run, set_tracer
 
 __all__ = ["main", "build_parser"]
+
+
+def _model_choices() -> list[str]:
+    """CLI model names come from the UDF registry, not a frozen list —
+    models registered before ``main()`` are immediately runnable."""
+    from .mp import registered_models
+
+    return sorted(registered_models())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,7 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="profile one system/model/dataset cell")
     run.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
-    run.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
+    run.add_argument("--model", choices=_model_choices(), default="gcn")
     run.add_argument("--dataset", default="CR")
     run.add_argument("--archive", default=None, metavar="DIR",
                      help="also record the profile into this archive directory")
@@ -91,7 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="plan-IR optimizer level (see the opt command)")
 
     cmp_ = sub.add_parser("compare", help="run all systems on one cell")
-    cmp_.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
+    cmp_.add_argument("--model", choices=_model_choices(), default="gcn")
     cmp_.add_argument("--dataset", default="CR")
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
@@ -106,14 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     roof = sub.add_parser("roofline", help="roofline-classify a pipeline")
     roof.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
-    roof.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
+    roof.add_argument("--model", choices=_model_choices(), default="gcn")
     roof.add_argument("--dataset", default="CR")
 
     tr = sub.add_parser(
         "trace", help="profile one cell and export a Chrome-trace timeline"
     )
     tr.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
-    tr.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
+    tr.add_argument("--model", choices=_model_choices(), default="gcn")
     tr.add_argument("--dataset", default="CR")
     tr.add_argument("--out", default="trace.json",
                     help="timeline output path (default trace.json)")
@@ -132,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="simulated online inference serving on the modeled GPU"
     )
     sv.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
-    sv.add_argument("--model", choices=["gcn", "gin", "sage", "gat"], default="gcn")
+    sv.add_argument("--model", choices=_model_choices(), default="gcn")
     sv.add_argument("--dataset", default="CR")
     sv.add_argument("--arrival", choices=["poisson", "bursty"], default="poisson")
     sv.add_argument("--rate", type=float, default=None,
@@ -178,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
         "dashboard"
     )
     top.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
-    top.add_argument("--model", choices=["gcn", "gin", "sage", "gat"],
+    top.add_argument("--model", choices=_model_choices(),
                      default="gcn")
     top.add_argument("--dataset", default="CR")
     top.add_argument("--arrival", choices=["poisson", "bursty"],
@@ -206,7 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="re-expose a --metrics-out JSONL file instead of "
                     "running a workload (last record per metric wins)")
     me.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
-    me.add_argument("--model", choices=["gcn", "gin", "sage", "gat"],
+    me.add_argument("--model", choices=_model_choices(),
                     default="gcn")
     me.add_argument("--dataset", default="CR")
     me.add_argument("--requests", type=int, default=64)
@@ -228,7 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
         "plan", help="lower a cell and print each system's execution plan"
     )
     pl.add_argument("dataset", help="dataset abbreviation (e.g. CR)")
-    pl.add_argument("model", choices=["gcn", "gin", "sage", "gat"])
+    pl.add_argument("model", choices=_model_choices())
     pl.add_argument("--system", choices=sorted(SYSTEMS), default=None,
                     help="limit to one system (default: all four)")
     pl.add_argument("--lint", action="store_true",
@@ -241,7 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("--system", choices=sorted(SYSTEMS), default=None,
                     help="limit to one system (default: all four)")
     li.add_argument("--model", action="append", default=None,
-                    choices=["gcn", "gin", "sage", "gat"],
+                    choices=_model_choices(),
                     help="model(s) to lint (default: gcn and gat)")
     li.add_argument("--dataset", action="append", default=None,
                     help="dataset abbreviation(s) (default: CR CS PD)")
@@ -268,7 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
         "show each pass's rewrite decision",
     )
     op.add_argument("dataset", help="dataset abbreviation (e.g. CR)")
-    op.add_argument("model", choices=["gcn", "gin", "sage", "gat"])
+    op.add_argument("model", choices=_model_choices())
     op.add_argument("--system", choices=sorted(SYSTEMS), default=None,
                     help="limit to one system (default: all four)")
     op.add_argument("--level", choices=["safe", "search"], default="search",
@@ -285,7 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tn.add_argument("--dataset", action="append", default=None,
                     help="dataset abbreviation(s) (default: CR); repeatable")
-    tn.add_argument("--model", choices=["gcn", "gin", "sage", "gat"],
+    tn.add_argument("--model", choices=_model_choices(),
                     default="gcn")
     tn.add_argument("--system", choices=sorted(SYSTEMS), default="TLPGNN")
     tn.add_argument("--budget", type=int, default=32,
@@ -297,6 +310,18 @@ def build_parser() -> argparse.ArgumentParser:
                     "the PlanCache holds the tuned plan")
     tn.add_argument("--json", action="store_true", dest="as_json",
                     help="emit the tuning results as a JSON array")
+
+    ud = sub.add_parser(
+        "udf",
+        help="describe a registered message-passing UDF: spec signature, "
+        "derived framework lowering, derived effect/access tables",
+    )
+    ud.add_argument("model", nargs="?", default=None,
+                    help="registered model name (default: list all)")
+    ud.add_argument("--dataset", default="CR",
+                    help="cell to bind the spec against (default CR)")
+    ud.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit the description as JSON")
     return p
 
 
@@ -1021,6 +1046,158 @@ def cmd_tune(args: argparse.Namespace, out) -> int:
     return rc
 
 
+def cmd_udf(args: argparse.Namespace, out) -> int:
+    """Describe a registered UDF: everything downstream is derived."""
+    import json
+
+    from .frameworks.base import CapacityError, UnsupportedModelError
+    from .kernels.tlpgnn import TLPGNNKernel
+    from .lint.access import sector_class
+    from .mp import build_model, model_features, registered_models
+
+    config = _config(args)
+    dataset, X = _cell(args, config)
+    if args.model is None:
+        rows = [
+            {
+                "name": name,
+                "signature": build_model(
+                    name, dataset.graph, X
+                ).signature(),
+            }
+            for name in registered_models()
+        ]
+        if args.as_json:
+            print(json.dumps(rows, indent=2), file=out)
+        else:
+            for row in rows:
+                print(row["signature"], file=out)
+        return 0
+
+    name = args.model.lower()
+    feats = model_features(name)
+    if feats is None:
+        print(
+            f"unknown model {args.model!r}; registered: "
+            + ", ".join(registered_models()),
+            file=out,
+        )
+        return 2
+    spec = config.spec_for(dataset)
+    model = build_model(name, dataset.graph, X)
+    workload = model.workload()
+
+    # what each framework derives from the terms: support + pipeline
+    systems: dict[str, dict] = {}
+    for sysname in sorted(SYSTEMS):
+        system = SYSTEMS[sysname]()
+        if not system.supports(name):
+            systems[sysname] = {"supported": False, "kernels": None}
+            continue
+        try:
+            plan = system.lower(name, dataset, X, spec)
+        except (UnsupportedModelError, CapacityError) as exc:
+            systems[sysname] = {
+                "supported": False,
+                "kernels": None,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+            continue
+        systems[sysname] = {
+            "supported": True,
+            "kernels": [op.name for op in plan.ops],
+        }
+
+    # the fused kernel's derived tables (same derivation the lint checks)
+    kernel = TLPGNNKernel()
+    eff = kernel.effects(workload)
+    acc = kernel.access_patterns(workload)
+    info = {
+        "name": name,
+        "signature": model.signature(),
+        "terms": {
+            "feature": feats.feature,
+            "scale": feats.scale,
+            "op": feats.op,
+            "softmax": feats.softmax,
+            "self": feats.self_kind,
+        },
+        "systems": systems,
+        "effects": {
+            "kernel": kernel.name,
+            "reads": list(eff.reads),
+            "writes": list(eff.writes),
+            "atomics": list(eff.atomics),
+            "atomic_ops": int(eff.atomic_ops),
+        },
+        "access": [
+            {
+                "buffer": p.buffer,
+                "role": p.role,
+                "row": p.row,
+                "trips": list(p.trips),
+                "class": sector_class(p, acc.shapes),
+            }
+            for p in acc.patterns
+        ],
+    }
+    if model.has_softmax:
+        from .mp import softmax_stages
+
+        info["softmax_stages"] = [
+            {"key": s.key, "reads": list(s.reads), "write": s.write}
+            for s in softmax_stages()
+        ]
+    if args.as_json:
+        print(json.dumps(info, indent=2), file=out)
+        return 0
+
+    t = info["terms"]
+    print(info["signature"], file=out)
+    print(
+        f"  terms    : send feat[{t['feature']}] scale={t['scale']} "
+        f"reduce={t['op']} softmax={'yes' if t['softmax'] else 'no'} "
+        f"self={t['self'] or '-'}",
+        file=out,
+    )
+    print("  lowering (derived per framework):", file=out)
+    for sysname, row in systems.items():
+        if row["supported"]:
+            detail = " -> ".join(row["kernels"])
+            print(
+                f"    {sysname:>10}: {len(row['kernels'])} kernel(s): "
+                f"{detail}",
+                file=out,
+            )
+        else:
+            why = row.get("error", "declined by the spec terms")
+            print(f"    {sysname:>10}: - ({why})", file=out)
+    if "softmax_stages" in info:
+        print("  unfused softmax staging:", file=out)
+        for s in info["softmax_stages"]:
+            print(
+                f"    {s['key']:>10}: reads {','.join(s['reads'])} "
+                f"-> {s['write']}",
+                file=out,
+            )
+    e = info["effects"]
+    line = f"reads {','.join(e['reads'])}; writes {','.join(e['writes'])}"
+    if e["atomics"]:
+        line += (
+            f"; atomics {','.join(e['atomics'])} ({e['atomic_ops']} ops)"
+        )
+    print(f"  derived effects ({e['kernel']}): {line}", file=out)
+    print(f"  derived access ({e['kernel']}):", file=out)
+    for row in info["access"]:
+        trips = f" x {','.join(row['trips'])}" if row["trips"] else ""
+        print(
+            f"    {row['role']:>5} {row['buffer']:<10} row={row['row']}"
+            f"{trips} [{row['class']}]",
+            file=out,
+        )
+    return 0
+
+
 _COMMANDS = {
     "datasets": cmd_datasets,
     "validate": cmd_validate,
@@ -1039,6 +1216,7 @@ _COMMANDS = {
     "lint": cmd_lint,
     "opt": cmd_opt,
     "tune": cmd_tune,
+    "udf": cmd_udf,
 }
 
 

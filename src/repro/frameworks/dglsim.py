@@ -23,7 +23,7 @@ from ..kernels.fusion import streaming_kernel_stats
 from ..lint import access
 from ..lint.access import KernelAccess
 from ..lint.effects import LaunchEnvelope, effect_table
-from ..models import build_conv
+from ..mp import SpmmStage, build_model, dgl_stage_plan, model_features
 from ..obs.tracer import span
 from ..plan import ComputeStep, ExecutionPlan, KernelOp
 from .base import GNNSystem
@@ -49,7 +49,11 @@ class DGLSystem(GNNSystem):
     spmm_regular_boost: float = 0.55
 
     def supports(self, model: str) -> bool:
-        return model in DGL_KERNEL_COUNTS
+        # spec-driven: any registered UDF whose terms the SpMM pipeline can
+        # express — source-side sends (a dst send has no copy_u lowering
+        # here) and sum/mean reduces (cuSPARSE has no max-SpMM path).
+        f = model_features(model)
+        return f is not None and f.feature == "src" and f.op != "max"
 
     def plan_knobs(self) -> dict:
         return {
@@ -164,7 +168,8 @@ class DGLSystem(GNNSystem):
         n, E, Fdim = graph.num_vertices, graph.num_edges, X.shape[1]
         nf = n * Fdim
         att_sec = -(-4 * n // 32)
-        workload = build_conv(model, graph, X, rng=rng)
+        mp_model = build_model(model, graph, X, rng=rng)
+        workload = mp_model.workload()
 
         ops: list[KernelOp] = []
 
@@ -226,22 +231,25 @@ class DGLSystem(GNNSystem):
                     )
                 )
             else:
-                # rb = (indptr, indices, dense features): cuSPARSE's
-                # row-parallel path — warp-uniform indices, lane-coalesced
-                # feature rows, exclusive row writes.
-                acc = KernelAccess(
-                    patterns=(
-                        access.broadcast(rb[0]),
-                        access.broadcast(rb[1], trips=("degree",)),
-                        access.lane_stream(
-                            rb[2], row="indirect", via=rb[1],
-                            trips=("degree", "feat_rounds"),
-                        ),
-                        access.lane_stream(
-                            wb, role="write", trips=("feat_rounds",)
-                        ),
-                    )
+                # rb = (indptr, indices, dense features[, edge scalars]):
+                # cuSPARSE's row-parallel path — warp-uniform indices,
+                # lane-coalesced feature rows, exclusive row writes; an
+                # explicit per-edge scalar streams warp-uniformly alongside
+                # the indices.
+                pats = [
+                    access.broadcast(rb[0]),
+                    access.broadcast(rb[1], trips=("degree",)),
+                    access.lane_stream(
+                        rb[2], row="indirect", via=rb[1],
+                        trips=("degree", "feat_rounds"),
+                    ),
+                ]
+                if len(rb) > 3:
+                    pats.append(access.broadcast(rb[3], trips=("degree",)))
+                pats.append(
+                    access.lane_stream(wb, role="write", trips=("feat_rounds",))
                 )
+                acc = KernelAccess(patterns=tuple(pats))
             ops.append(
                 KernelOp(
                     name="spmm_coo_atomic" if coo_atomic else "spmm",
@@ -255,81 +263,45 @@ class DGLSystem(GNNSystem):
                 )
             )
 
-        if model == "gcn":
-            ew("degs", n, reads=2, writes=1, rb=("indptr",), wb="tmp:deg")
-            ew("u_mul_norm", nf, reads=2, writes=1,
-               rb=("feat", "tmp:deg"), wb="tmp:xn")
-            ew("csr_check", E, reads=1, writes=1,
-               rb=("indptr", "indices"), wb="tmp:csr_ok")
-            spmm(weighted=False, rb=("indptr", "indices", "tmp:xn"))
-            ew("v_mul_norm", nf, reads=2, writes=1,
-               rb=("tmp:agg", "tmp:deg"), wb="tmp:aggn")
-            ew("add_self", nf, reads=2, writes=1,
-               rb=("tmp:aggn", "feat"), wb="out")
-        elif model == "gin":
-            ew("degs", n, reads=2, writes=1, rb=("indptr",), wb="tmp:deg")
-            ew("copy_u", nf, reads=1, writes=1, rb=("feat",), wb="tmp:xc")
-            ew("csr_check", E, reads=1, writes=1,
-               rb=("indptr", "indices"), wb="tmp:csr_ok")
-            spmm(weighted=False, rb=("indptr", "indices", "tmp:xc"))
-            ew("eps_scale", nf, reads=1, writes=1, rb=("feat",), wb="tmp:eps")
-            ew("add_self", nf, reads=2, writes=1,
-               rb=("tmp:agg", "tmp:eps"), wb="tmp:sum")
-            ew("fill", nf, reads=0.5, writes=1, rb=(), wb="tmp:fill")
-            ew("cast", nf, reads=1, writes=1, rb=("tmp:sum",), wb="out")
-        elif model == "sage":
-            ew("degs", n, reads=2, writes=1, rb=("indptr",), wb="tmp:deg")
-            ew("copy_u", nf, reads=1, writes=1, rb=("feat",), wb="tmp:xc")
-            ew("csr_check", E, reads=1, writes=1,
-               rb=("indptr", "indices"), wb="tmp:csr_ok")
-            spmm(weighted=False, rb=("indptr", "indices", "tmp:xc"))
-            ew("count", n, reads=1, writes=1, rb=("indptr",), wb="tmp:cnt")
-            ew("clamp", n, reads=1, writes=1, rb=("tmp:cnt",), wb="tmp:cntc")
-            ew("div_deg", nf, reads=2, writes=1,
-               rb=("tmp:agg", "tmp:cntc"), wb="tmp:mean")
-            ew("fill", nf, reads=0.5, writes=1, rb=(), wb="tmp:fill")
-            ew("concat_prep", nf, reads=1, writes=1,
-               rb=("tmp:mean", "feat"), wb="tmp:cat")
-            ew("cast", nf, reads=1, writes=1, rb=("tmp:cat",), wb="out")
-        elif model == "gat":
-            ew("att_src_proj", n, reads=Fdim, writes=1,
-               rb=("feat",), wb="tmp:asrc")
-            ew("att_dst_proj", n, reads=Fdim, writes=1,
-               rb=("feat",), wb="tmp:adst")
-            ew("gather_u", E, reads=1, writes=1, gather=(E, att_sec),
-               rb=("tmp:asrc", "indices"), wb="tmp:eu", gb=("tmp:asrc",))
-            ew("gather_v", E, reads=1, writes=1, gather=(E, att_sec),
-               rb=("tmp:adst", "indices"), wb="tmp:ev", gb=("tmp:adst",))
-            ew("edge_add", E, reads=2, writes=1,
-               rb=("tmp:eu", "tmp:ev"), wb="tmp:elog")
-            ew("leaky_relu", E, reads=1, writes=1,
-               rb=("tmp:elog",), wb="tmp:elr")
-            ew("copy_e", E, reads=1, writes=1, rb=("tmp:elr",), wb="tmp:ecp")
-            ew("segment_max", E, reads=1, writes=n / max(E, 1),
-               rb=("tmp:ecp", "indptr"), wb="tmp:vmax")
-            ew("gather_max", E, reads=1, writes=1, gather=(E, att_sec),
-               rb=("tmp:vmax", "indices"), wb="tmp:emax", gb=("tmp:vmax",))
-            ew("sub", E, reads=2, writes=1,
-               rb=("tmp:elr", "tmp:emax"), wb="tmp:esub")
-            ew("exp", E, reads=1, writes=1, rb=("tmp:esub",), wb="tmp:eexp")
-            ew("segment_sum", E, reads=1, writes=n / max(E, 1),
-               rb=("tmp:eexp", "indptr"), wb="tmp:vsum")
-            ew("gather_sum", E, reads=1, writes=1, gather=(E, att_sec),
-               rb=("tmp:vsum", "indices"), wb="tmp:esum", gb=("tmp:vsum",))
-            ew("div", E, reads=2, writes=1,
-               rb=("tmp:eexp", "tmp:esum"), wb="tmp:alpha")
-            ew("coo2csr", E, reads=2, writes=2,
-               rb=("indptr", "indices"), wb="tmp:coo")
-            spmm(weighted=True, coo_atomic=True,
-                 rb=("tmp:coo", "tmp:alpha", "feat"), wb="tmp:aggw")
-            ew("reshape_out", nf, reads=1, writes=1,
-               rb=("tmp:aggw",), wb="tmp:resh")
-            ew("cast_out", nf, reads=1, writes=1, rb=("tmp:resh",), wb="out")
-        else:  # pragma: no cover - guarded by supports()
-            raise AssertionError(model)
+        # The pipeline is no longer hand-written per model: the UDF terms
+        # derive the stage list (repro.mp.lower), and this loop only
+        # resolves the symbolic sizes and emits each launch.
+        items_of = {"n": n, "e": E, "nf": nf}
 
-        expected = DGL_KERNEL_COUNTS[model]
-        assert len(ops) == expected, f"{model}: {len(ops)} kernels != {expected}"
+        def resolve(v):
+            if v == "F":
+                return Fdim
+            if v == "seg":
+                return n / max(E, 1)
+            return v
+
+        for stage in dgl_stage_plan(mp_model):
+            if isinstance(stage, SpmmStage):
+                spmm(
+                    weighted=stage.weighted,
+                    coo_atomic=stage.coo_atomic,
+                    rb=stage.rb,
+                    wb=stage.wb,
+                )
+            else:
+                ew(
+                    stage.name,
+                    items_of[stage.items],
+                    reads=resolve(stage.reads),
+                    writes=resolve(stage.writes),
+                    gather=(E, att_sec) if stage.gather else None,
+                    rb=stage.rb,
+                    wb=stage.wb,
+                    gb=stage.gb,
+                )
+
+        # cross-check the derived plans against the paper's measured launch
+        # counts for the builtin zoo (user-registered models have no pin)
+        expected = DGL_KERNEL_COUNTS.get(model)
+        if expected is not None:
+            assert len(ops) == expected, (
+                f"{model}: {len(ops)} kernels != {expected}"
+            )
         return ExecutionPlan(
             system=self.name,
             model=model,

@@ -12,15 +12,16 @@ finalize kernel; GAT lowers to the 3-kernel pipeline of Table 3.
 
 from __future__ import annotations
 
-from ..kernels.fusion import (
-    streaming_kernel_stats,
-    three_kernel_gat_access,
-    three_kernel_gat_stats,
-)
+from ..kernels.fusion import streaming_kernel_stats, three_kernel_gat_stats
 from ..kernels.tlpgnn import TLPGNNKernel
 from ..lint.access import KernelAccess, lane_stream
 from ..lint.effects import LaunchEnvelope, effect_table
-from ..models import build_conv
+from ..mp import (
+    build_model,
+    model_features,
+    softmax_stage_access,
+    softmax_stages,
+)
 from ..obs.tracer import span
 from ..plan import ComputeStep, ExecutionPlan, KernelOp
 from .base import GNNSystem
@@ -45,19 +46,31 @@ class FeatGraphSystem(GNNSystem):
         self.kernel.name = "featgraph_gather"
 
     def supports(self, model: str) -> bool:
-        return model in ("gcn", "gin", "sage", "gat")
+        # spec-driven: the static gather template runs any registered UDF
+        # (softmax terms expand to the three-kernel pipeline below)
+        return model_features(model) is not None
 
     def plan_knobs(self) -> dict:
         return {**super().plan_knobs(), "warps_per_block": self.warps_per_block}
 
     # ------------------------------------------------------------------
     def _lower(self, model, graph, X, spec, *, dataset, rng):
-        workload = build_conv(model, graph, X, rng=rng)
-        if model == "gat":
-            # The three stats belong to one TVM lowering: compute them once
-            # per analyzed spec and hand each op its slice.
+        mp_model = build_model(model, graph, X, rng=rng)
+        workload = mp_model.workload()
+        if mp_model.has_softmax:
+            # The softmax normalization term expands to the unfused
+            # three-stage pipeline; stage dataflow and access tables are
+            # derived from the term (repro.mp), the TVM-style static cost
+            # model stays here.  The three stats belong to one lowering:
+            # compute them once per analyzed spec and hand each op its
+            # slice.
             memo: dict[int, list] = {}
-            gat_access = three_kernel_gat_access(workload)
+            gat_access = softmax_stage_access(workload)
+            stage_names = {
+                "apply_edge": "gat_apply_edge",
+                "softmax": "gat_edge_softmax",
+                "aggregate": "gat_aggregate",
+            }
 
             def part_of(index, name, *, rb, wb, access):
                 def analyze(s):
@@ -88,15 +101,14 @@ class FeatGraphSystem(GNNSystem):
                 )
 
             ops = [
-                part_of(0, "gat_apply_edge",
-                        rb=("indices", "att"), wb="tmp:logits",
-                        access=gat_access["apply_edge"]),
-                part_of(1, "gat_edge_softmax",
-                        rb=("tmp:logits", "indptr"), wb="tmp:alpha",
-                        access=gat_access["softmax"]),
-                part_of(2, "gat_aggregate",
-                        rb=("tmp:alpha", "indptr", "indices", "feat"),
-                        wb="out", access=gat_access["aggregate"]),
+                part_of(
+                    i,
+                    stage_names[stage.key],
+                    rb=stage.reads,
+                    wb=stage.write,
+                    access=gat_access[stage.key],
+                )
+                for i, stage in enumerate(softmax_stages())
             ]
             return ExecutionPlan(
                 system=self.name,

@@ -20,7 +20,7 @@ from ..kernels.fusion import streaming_kernel_stats
 from ..kernels.neighbor_group import NeighborGroupKernel, build_groups
 from ..lint.access import KernelAccess, lane_stream
 from ..lint.effects import LaunchEnvelope, effect_table
-from ..models import build_conv
+from ..mp import build_model, model_features
 from ..obs.tracer import span
 from ..plan import ComputeStep, ExecutionPlan, KernelOp
 from .base import CapacityError, GNNSystem
@@ -43,7 +43,12 @@ class GNNAdvisorSystem(GNNSystem):
         self.kernel = NeighborGroupKernel(group_size=group_size)
 
     def supports(self, model: str) -> bool:
-        return model in ("gcn", "gin")
+        # spec-driven: the neighbor-group kernel merges partial rows with
+        # atomicAdd, so only sum reduces without a softmax term lower here
+        # (mean and attention keep GNNAdvisor out of sage/gat, as in the
+        # paper; any registered sum-reduce UDF is accepted).
+        f = model_features(model)
+        return f is not None and f.op == "sum" and not f.softmax
 
     def plan_knobs(self) -> dict:
         return {**super().plan_knobs(), "group_size": self.group_size}
@@ -67,7 +72,9 @@ class GNNAdvisorSystem(GNNSystem):
 
         perm = reorder.perm
         Xp = np.ascontiguousarray(X[np.argsort(perm)])
-        workload = build_conv(model, reorder.graph, Xp, rng=rng)
+        workload = build_model(
+            model, reorder.graph, Xp, rng=rng
+        ).workload()
         # Feature renumbering (permute to the reordered id space) happens once
         # during pre-processing, so it is charged to preprocess time, not to
         # the per-epoch kernel pipeline the tables compare.  The compute step

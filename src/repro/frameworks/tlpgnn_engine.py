@@ -13,15 +13,17 @@ off to regenerate the Figure 10 ablation:
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..kernels.edge_centric import EdgeCentricKernel
-from ..kernels.fusion import streaming_kernel_stats, three_kernel_gat_access
+from ..kernels.fusion import streaming_kernel_stats
 from ..kernels.tlpgnn import TLPGNNKernel
 from ..lint.effects import LaunchEnvelope, effect_table
-from ..models import build_conv
 from ..models.convspec import ConvWorkload
-from ..models.functional import leaky_relu, segment_softmax
+from ..mp import (
+    build_model,
+    model_features,
+    softmax_stage_access,
+    softmax_stages,
+)
 from ..obs.tracer import span
 from ..plan import ComputeStep, ExecutionPlan, KernelOp
 from .base import GNNSystem
@@ -52,7 +54,11 @@ class TLPGNNEngine(GNNSystem):
         self.step = step
 
     def supports(self, model: str) -> bool:
-        return model in ("gcn", "gin", "sage", "gat")
+        # spec-driven: the fused kernel runs any registered UDF.  The
+        # two_level=False ablation aggregates with the edge-centric
+        # scatter kernel, which cannot express a max reduce.
+        f = model_features(model)
+        return f is not None and (self.two_level or f.op != "max")
 
     def plan_knobs(self) -> dict:
         return {
@@ -85,29 +91,28 @@ class TLPGNNEngine(GNNSystem):
         )
 
     def _lower(self, model, graph, X, spec, *, dataset, rng):
-        workload = build_conv(model, graph, X, rng=rng)
+        mp_model = build_model(model, graph, X, rng=rng)
+        workload = mp_model.workload()
         ops: list[KernelOp] = []
 
-        needs_unfused_gat = workload.attention is not None and not (
+        needs_unfused_gat = mp_model.has_softmax and not (
             self.fusion and self.two_level
         )
         if needs_unfused_gat:
-            # materialize attention with ApplyEdge + edge-softmax kernels,
-            # then aggregate with whatever level-1 mapping is enabled.
+            # The softmax normalization term, unfused: ApplyEdge + edge-
+            # softmax launches materialize the per-edge alphas, then the
+            # enabled level-1 mapping aggregates them as edge values.
+            # Stage dataflow (rb/wb) and access tables come from the term's
+            # derivation in repro.mp; the cost closures stay here.
             with span("tlpgnn.unfused_attention", model=model):
-                att = workload.attention
                 g = graph
-                src = g.indices
-                dst = np.repeat(
-                    np.arange(g.num_vertices, dtype=np.int64), g.in_degrees
-                )
-                logits = leaky_relu(
-                    att.att_src[src] + att.att_dst[dst], att.negative_slope
-                ).astype(np.float64)
-                alphas = segment_softmax(logits, g.indptr).astype(np.float32)
+                alphas = workload.resolved_edge_weights()
                 att_sec = -(-4 * g.num_vertices // 32)
                 # the softmax materializes the aggregation's edge_vals input
-                gat_access = three_kernel_gat_access(workload, alpha="edge_vals")
+                apply_stage, softmax_stage, _ = softmax_stages(
+                    alpha="edge_vals"
+                )
+                gat_access = softmax_stage_access(workload, alpha="edge_vals")
                 ops.append(
                     KernelOp(
                         name="apply_edge_logits",
@@ -126,8 +131,8 @@ class TLPGNNEngine(GNNSystem):
                             )
                         ),
                         effects=effect_table(
-                            reads=("indices", "att"),
-                            writes=("tmp:logits",),
+                            reads=apply_stage.reads,
+                            writes=(apply_stage.write,),
                             launch=LaunchEnvelope(threads_per_block=256),
                         ),
                         access=gat_access["apply_edge"],
@@ -149,8 +154,8 @@ class TLPGNNEngine(GNNSystem):
                         # materializes the per-edge alphas the downstream
                         # aggregation consumes as its `edge_vals` input
                         effects=effect_table(
-                            reads=("tmp:logits", "indptr"),
-                            writes=("edge_vals",),
+                            reads=softmax_stage.reads,
+                            writes=(softmax_stage.write,),
                             launch=LaunchEnvelope(threads_per_block=256),
                         ),
                         access=gat_access["softmax"],

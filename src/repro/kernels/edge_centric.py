@@ -19,9 +19,8 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
-from ..lint.access import broadcast, conv_access, lane_stream, scatter
-from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
+from ..mp.derive import KernelMapping, derive_access, derive_effects
 from .base import ConvKernel, feature_row_sectors, feature_rounds, make_amap
 
 __all__ = ["EdgeCentricKernel"]
@@ -41,33 +40,22 @@ class EdgeCentricKernel(ConvKernel):
     def supports(self, workload: ConvWorkload) -> bool:
         return workload.attention is None and workload.reduce != "max"
 
+    def _mapping(self) -> KernelMapping:
+        return KernelMapping(
+            unit="edge_chunk", warps_per_block=self.warps_per_block
+        )
+
     def effects(self, workload: ConvWorkload):
         # Pure scatter over COO chunks (no indptr): every edge atomically
         # merges a feature row into its destination — no plain stores at
         # all; even the self term rides the atomic path.
-        g = workload.graph
-        return effect_table(
-            reads=conv_read_buffers(workload, indptr=False),
-            atomics=("out",),
-            atomic_ops=g.num_edges * workload.feat_dim,
-            launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
-        )
+        return derive_effects(self._mapping(), workload)
 
     def access_patterns(self, workload: ConvWorkload):
         # COO streaming: ids and rows are lane-coalesced per edge, but the
         # destination row of every atomic is indirected — the chunk's edges
         # scatter over arbitrary output rows (ACC004, Observation I).
-        pats = [
-            broadcast("indices", trips=("chunk",)),
-            lane_stream(
-                "feat", row="indirect", via="indices",
-                trips=("chunk", "feat_rounds"),
-            ),
-            scatter("out", via="indices", trips=("chunk", "feat_rounds")),
-        ]
-        if workload.edge_weights is not None:
-            pats.append(broadcast("edge_vals", trips=("chunk",)))
-        return conv_access(workload, *pats)
+        return derive_access(self._mapping(), workload)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

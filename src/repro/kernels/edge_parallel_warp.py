@@ -22,16 +22,8 @@ from ..gpusim.memory import cached_dram_sectors, scattered_rows_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
-from ..lint.access import (
-    Affine,
-    AccessPattern,
-    broadcast,
-    conv_access,
-    gather,
-    lane_stream,
-)
-from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
+from ..mp.derive import KernelMapping, derive_access, derive_effects
 from .base import ConvKernel, feature_row_sectors, index_span_sectors, make_amap
 
 __all__ = ["EdgeParallelWarpKernel"]
@@ -51,33 +43,23 @@ class EdgeParallelWarpKernel(ConvKernel):
     def supports(self, workload: ConvWorkload) -> bool:
         return workload.attention is None and workload.reduce != "max"
 
+    def _mapping(self) -> KernelMapping:
+        return KernelMapping(
+            unit="edge_tile", warps_per_block=self.warps_per_block
+        )
+
     def effects(self, workload: ConvWorkload):
         # Still warp-per-vertex at level 1: the shuffle tree keeps the
         # cross-lane reduction in registers, so the output write stays
         # exclusive (the naive atomic variant is what TLPGNN rejects).
-        return effect_table(
-            reads=conv_read_buffers(workload),
-            writes=("out",),
-            launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
-        )
+        return derive_effects(self._mapping(), workload)
 
     def access_patterns(self, workload: ConvWorkload):
         # Feature-then-edge order: the edge-id tile is a consecutive-lane
         # stream, but every feature load puts 32 *different* source rows on
         # the lanes (ACC002 — Figure 5(a)'s uncoalesced case), and tail
         # tiles mask lanes on every low-degree vertex (DIV002).
-        pats = [
-            broadcast("indptr"),
-            AccessPattern("indices", row="flat", col=Affine(lane=1),
-                          trips=("degree", "edge_tiles")),
-            gather("feat", via="indices", trips=("degree", "edge_tiles", "dims")),
-            lane_stream("out", role="write", trips=("feat_rounds",)),
-        ]
-        if workload.edge_weights is not None:
-            pats.append(AccessPattern("edge_vals", row="flat",
-                                      col=Affine(lane=1),
-                                      trips=("degree", "edge_tiles")))
-        return conv_access(workload, *pats)
+        return derive_access(self._mapping(), workload)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

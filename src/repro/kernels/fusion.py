@@ -25,14 +25,9 @@ from ..gpusim.kernel import KernelStats, LaunchConfig, PipelineStats
 from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.scheduler import ScheduleResult, hardware_schedule, static_schedule
 from ..gpusim.warpcost import warp_cycles
-from ..lint.access import (
-    KernelAccess,
-    broadcast,
-    conv_access,
-    gather,
-    lane_stream,
-)
+from ..lint.access import KernelAccess
 from ..models.convspec import ConvWorkload, reference_aggregate
+from ..mp.derive import softmax_stage_access
 from .base import feature_row_sectors, index_span_sectors, make_amap
 
 __all__ = [
@@ -175,33 +170,13 @@ def three_kernel_gat_access(
     without register caching.  ``alpha`` names the buffer the softmax
     materializes (FeatGraph keeps a transient, the unfused TLPGNN path
     writes the downstream kernel's ``edge_vals``).
+
+    The staging itself is the UDF normalization term made explicit —
+    the tables are derived in :func:`repro.mp.derive.softmax_stage_access`
+    (single source of truth shared with the framework lowerings); this
+    wrapper keeps the historical kernel-layer entry point.
     """
-    E = workload.graph.num_edges
-    apply_edge = conv_access(
-        workload,
-        lane_stream("indices", row="flat", span=E),
-        gather("att", via="indices"),
-        lane_stream(logits, role="write", row="flat", span=E),
-    )
-    softmax = conv_access(
-        workload,
-        lane_stream(logits, row="flat", span=E),
-        broadcast("indptr"),
-        lane_stream(alpha, role="write", row="flat", span=E),
-    )
-    aggregate = conv_access(
-        workload,
-        broadcast("indptr"),
-        broadcast("indices", trips=("degree",)),
-        broadcast(alpha, trips=("degree",)),
-        lane_stream(
-            "feat", row="indirect", via="indices",
-            trips=("degree", "feat_rounds"),
-        ),
-        lane_stream("out", trips=("degree", "feat_rounds")),
-        lane_stream("out", role="write", trips=("feat_rounds",)),
-    )
-    return {"apply_edge": apply_edge, "softmax": softmax, "aggregate": aggregate}
+    return softmax_stage_access(workload, logits=logits, alpha=alpha)
 
 
 def three_kernel_gat_stats(

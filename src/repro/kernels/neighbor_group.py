@@ -20,9 +20,8 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
-from ..lint.access import broadcast, conv_access, lane_stream
-from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
+from ..mp.derive import KernelMapping, derive_access, derive_effects
 from .base import (
     ConvKernel,
     feature_row_sectors,
@@ -78,41 +77,27 @@ class NeighborGroupKernel(ConvKernel):
     def supports(self, workload: ConvWorkload) -> bool:
         return workload.attention is None and workload.reduce != "max"
 
+    def _mapping(self) -> KernelMapping:
+        return KernelMapping(
+            unit="neighbor_group",
+            lanes=16,  # GNNAdvisor's half-warp dimension tiling
+            warps_per_block=self.warps_per_block,
+            group_size=self.group_size,
+            reads_group_table=True,
+        )
+
     def effects(self, workload: ConvWorkload):
         # One warp per neighbour group; groups of the same vertex merge
         # their partial rows with atomicAdd — sum(ceil(d/gs)) * F element
         # ops, Figure 8's traffic.  The host-built group table is an input.
-        d = workload.graph.in_degrees.astype(np.int64)
-        n_groups = int(np.sum(d // self.group_size + (d % self.group_size > 0)))
-        return effect_table(
-            reads=("group_table", *conv_read_buffers(workload)),
-            atomics=("out",),
-            atomic_ops=n_groups * workload.feat_dim,
-            launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
-        )
+        return derive_effects(self._mapping(), workload)
 
     def access_patterns(self, workload: ConvWorkload):
         # Feature rows are fetched as two half-warp requests (GNNAdvisor's
         # dimension tiling): each half is still a consecutive-lane stream.
         # The atomic merge targets the group's *own* vertex row — warp
         # collisions, but no indirected scatter (Figure 8, not Figure 7).
-        d = workload.graph.in_degrees.astype(np.int64)
-        n_groups = int(np.sum(d // self.group_size + (d % self.group_size > 0)))
-        pats = [
-            broadcast("group_table"),
-            broadcast("indptr"),
-            broadcast("indices", trips=("degree",)),
-            lane_stream(
-                "feat", row="indirect", via="indices", lanes=16,
-                trips=("degree", "feat_rounds"),
-            ),
-            lane_stream("out", role="atomic", trips=("feat_rounds",)),
-        ]
-        if workload.edge_weights is not None:
-            pats.append(broadcast("edge_vals", trips=("degree",)))
-        return conv_access(
-            workload, *pats, extra_shapes={"group_table": (max(n_groups, 1), 3)}
-        )
+        return derive_access(self._mapping(), workload)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

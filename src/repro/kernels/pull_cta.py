@@ -23,9 +23,9 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult, hardware_schedule
 from ..gpusim.warpcost import warp_cycles
-from ..lint.access import broadcast, conv_access, lane_stream
-from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
+from ..lint.effects import LaunchEnvelope
 from ..models.convspec import ConvWorkload
+from ..mp.derive import KernelMapping, derive_access, derive_effects
 from .base import (
     ConvKernel,
     feature_row_sectors,
@@ -51,15 +51,21 @@ class PullCTAKernel(ConvKernel):
         self.warps_per_block = warps_per_block
         self.name = f"pull_cta[w={warps_per_block}]"
 
+    def _mapping(self) -> KernelMapping:
+        return KernelMapping(
+            unit="vertex_cta", warps_per_block=self.warps_per_block
+        )
+
     def effects(self, workload: ConvWorkload):
         # CTA-per-vertex: warps combine partial rows through a shared-
         # memory tree reduce (one staged feature row per warp), then the
-        # block's lane group writes its vertex row exclusively.
+        # block's lane group writes its vertex row exclusively.  The smem
+        # staging depends on the feature width, so the envelope is built
+        # here rather than from the mapping alone.
         smem = 4 * workload.feat_dim * self.warps_per_block
-        return effect_table(
-            reads=conv_read_buffers(workload),
-            writes=("out",),
-            launch=LaunchEnvelope(
+        return derive_effects(
+            self._mapping(), workload,
+            envelope=LaunchEnvelope(
                 threads_per_block=self.warps_per_block * 32,
                 shared_mem_per_block=smem,
             ),
@@ -70,18 +76,7 @@ class PullCTAKernel(ConvKernel):
         # lanes, warp-uniform indices) — its costs are synchronization and
         # wasted blocks, which the resource/cost models account, not the
         # access shape.
-        pats = [
-            broadcast("indptr"),
-            broadcast("indices", trips=("degree",)),
-            lane_stream(
-                "feat", row="indirect", via="indices",
-                trips=("degree", "feat_rounds"),
-            ),
-            lane_stream("out", role="write", trips=("feat_rounds",)),
-        ]
-        if workload.edge_weights is not None:
-            pats.append(broadcast("edge_vals", trips=("degree",)))
-        return conv_access(workload, *pats)
+        return derive_access(self._mapping(), workload)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

@@ -17,9 +17,8 @@ from ..gpusim.memory import cached_dram_sectors, scattered_rows_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
-from ..lint.access import Affine, AccessPattern, conv_access, gather
-from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
+from ..mp.derive import KernelMapping, derive_access, derive_effects
 from .base import ConvKernel, feature_row_sectors, index_span_sectors, make_amap
 
 __all__ = ["PullThreadKernel"]
@@ -33,33 +32,22 @@ class PullThreadKernel(ConvKernel):
     def __init__(self, *, warps_per_block: int = 4) -> None:
         self.warps_per_block = warps_per_block
 
+    def _mapping(self) -> KernelMapping:
+        return KernelMapping(
+            unit="vertex_thread", warps_per_block=self.warps_per_block
+        )
+
     def effects(self, workload: ConvWorkload):
         # Uncoalesced, but still pull-style: each thread owns one output
         # row, so the writes stay exclusive and atomic-free.
-        return effect_table(
-            reads=conv_read_buffers(workload),
-            writes=("out",),
-            launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
-        )
+        return derive_effects(self._mapping(), workload)
 
     def access_patterns(self, workload: ConvWorkload):
         # The Figure 3a anti-pattern, symbolically: each lane walks its own
         # edge list (per-lane degree trips → DIV001), gathers rows lane by
         # lane (ACC002), and writes its own row at a row-pitch stride
         # (ACC003).  Only the indptr bounds load is coalesced.
-        pats = [
-            AccessPattern("indptr", col=Affine(lane=1), row="flat"),
-            gather("indices", row="flat", via=None,
-                   trips=("degree",), per="lane"),
-            gather("feat", via="indices", trips=("degree", "dims"),
-                   per="lane"),
-            AccessPattern("out", role="write", row="lane_unit",
-                          col=Affine(iter=1), trips=("dims",)),
-        ]
-        if workload.edge_weights is not None:
-            pats.append(gather("edge_vals", row="flat", via=None,
-                               trips=("degree",), per="lane"))
-        return conv_access(workload, *pats)
+        return derive_access(self._mapping(), workload)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         return self.reference(workload)

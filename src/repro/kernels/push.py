@@ -18,9 +18,8 @@ from ..gpusim.memory import cached_dram_sectors
 from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
-from ..lint.access import broadcast, conv_access, lane_stream, scatter
-from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
 from ..models.convspec import ConvWorkload
+from ..mp.derive import KernelMapping, derive_access, derive_effects
 from .base import (
     ConvKernel,
     feature_row_sectors,
@@ -44,34 +43,23 @@ class PushKernel(ConvKernel):
         # scatter cannot express per-destination softmax or max-reduce
         return workload.attention is None and workload.reduce != "max"
 
+    def _mapping(self) -> KernelMapping:
+        return KernelMapping(
+            unit="source_push", warps_per_block=self.warps_per_block
+        )
+
     def effects(self, workload: ConvWorkload):
         # Each warp initializes its own source row (exclusive write of the
         # self term), then scatters into arbitrary destination rows: every
         # edge merges a full feature row with atomicAdd (E*F element ops).
-        g = workload.graph
-        return effect_table(
-            reads=conv_read_buffers(workload),
-            writes=("out",),
-            atomics=("out",),
-            atomic_ops=g.num_edges * workload.feat_dim,
-            launch=LaunchEnvelope(threads_per_block=self.warps_per_block * 32),
-        )
+        return derive_effects(self._mapping(), workload)
 
     def access_patterns(self, workload: ConvWorkload):
         # Lane-level traffic is as coalesced as TLPGNN's (own row reads,
         # consecutive-lane rounds) — the scatter damage is at the *row*
         # level: every edge atomically targets an indirected destination
         # row, so units collide (ACC004) where warp-per-vertex cannot.
-        pats = [
-            broadcast("indptr"),
-            broadcast("indices", trips=("degree",)),
-            lane_stream("feat", trips=("feat_rounds",)),
-            lane_stream("out", role="write", trips=("feat_rounds",)),
-            scatter("out", via="indices", trips=("degree", "feat_rounds")),
-        ]
-        if workload.edge_weights is not None:
-            pats.append(broadcast("edge_vals", trips=("degree",)))
-        return conv_access(workload, *pats)
+        return derive_access(self._mapping(), workload)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         # Scatter over out-edges computes the same sums as the gather

@@ -28,8 +28,8 @@ from ..gpusim.microsim import MicroSim
 from ..gpusim.scheduler import ScheduleResult
 from ..gpusim.warpcost import warp_cycles
 from ..models.convspec import ConvWorkload
-from ..lint.access import broadcast, conv_access, lane_stream
-from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
+from ..lint.effects import LaunchEnvelope
+from ..mp.derive import KernelMapping, derive_access, derive_effects
 from .base import (
     ConvKernel,
     feature_row_sectors,
@@ -135,6 +135,16 @@ class TLPGNNKernel(ConvKernel):
     def supports(self, workload: ConvWorkload) -> bool:
         return True  # attention fused in-kernel
 
+    def _mapping(self) -> KernelMapping:
+        """Level-1/level-2 schedule as data; effect and access tables are
+        derived from it (plus the workload's UDF terms) in repro.mp."""
+        return KernelMapping(
+            unit="vertex_warp",
+            lanes=self.group_size,
+            register_cache=self.register_cache,
+            warps_per_block=self.warps_per_block,
+        )
+
     def effects(self, workload: ConvWorkload):
         # Warp-per-vertex: each warp owns its output row outright — no
         # atomics, no inter-warp writes (the paper's central claim).  The
@@ -143,10 +153,9 @@ class TLPGNNKernel(ConvKernel):
         wpb = self.warps_per_block
         if self.assignment in ("software", "hybrid"):
             wpb *= 2
-        return effect_table(
-            reads=conv_read_buffers(workload),
-            writes=("out",),
-            launch=LaunchEnvelope(threads_per_block=wpb * 32),
+        return derive_effects(
+            self._mapping(), workload,
+            envelope=LaunchEnvelope(threads_per_block=wpb * 32),
         )
 
     def access_patterns(self, workload: ConvWorkload):
@@ -154,27 +163,7 @@ class TLPGNNKernel(ConvKernel):
         # neighbour id are warp-uniform broadcasts.  Level 2: feature
         # dimensions ride the lanes, so every neighbour row and the output
         # row are consecutive-lane streams (Figure 5's coalescing claim).
-        L = self.group_size
-        pats = [
-            broadcast("indptr"),
-            broadcast("indices", trips=("degree",)),
-            lane_stream(
-                "feat", row="indirect", via="indices", lanes=L,
-                trips=("degree", "feat_rounds"),
-            ),
-            lane_stream("out", role="write", lanes=L, trips=("feat_rounds",)),
-        ]
-        if workload.attention is not None:
-            # per-edge attention scalars gathered warp-uniformly by source id
-            pats.append(broadcast("att", row="indirect", via="indices",
-                                  trips=("degree",)))
-        elif workload.edge_weights is not None:
-            pats.append(broadcast("edge_vals", trips=("degree",)))
-        if not self.register_cache:
-            # write-through accumulator: the own output row re-read per edge
-            pats.append(lane_stream("out", lanes=L,
-                                    trips=("degree", "feat_rounds")))
-        return conv_access(workload, *pats)
+        return derive_access(self._mapping(), workload)
 
     def run(self, workload: ConvWorkload) -> np.ndarray:
         # The warp-serial loop order is a rearrangement of the same sums the

@@ -52,20 +52,16 @@ def build_conv(
 ) -> ConvWorkload:
     """Build the graph-convolution workload of ``model`` on ``graph``/``X``.
 
-    GAT needs attention vectors; they are drawn from ``rng`` (default seeded)
-    so repeated builds are reproducible.
+    Dispatches through the :mod:`repro.mp` UDF registry, so any model
+    registered with :func:`repro.mp.register` — not just the builtin zoo —
+    resolves here.  GAT needs attention vectors; they are drawn from
+    ``rng`` (default seeded) so repeated builds are reproducible.
     """
-    model = model.lower()
-    if model == "gcn":
-        return build_gcn_conv(graph, X)
-    if model == "gin":
-        return build_gin_conv(graph, X)
-    if model in ("sage", "graphsage"):
-        return build_sage_conv(graph, X)
-    if model == "gat":
-        rng = rng or np.random.default_rng(0)
-        f = X.shape[1]
-        a_src = functional.xavier_uniform((f, 1), rng)[:, 0]
-        a_dst = functional.xavier_uniform((f, 1), rng)[:, 0]
-        return build_gat_conv(graph, X, a_src, a_dst)
-    raise ValueError(f"unknown model {model!r}; known: {MODEL_NAMES}")
+    from ..mp import build_model
+
+    try:
+        return build_model(model, graph, X, rng=rng).workload()
+    except KeyError:
+        raise ValueError(
+            f"unknown model {model!r}; known: {MODEL_NAMES}"
+        ) from None

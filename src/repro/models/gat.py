@@ -14,7 +14,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from . import functional as F
-from .convspec import AttentionSpec, ConvWorkload
+from .convspec import ConvWorkload
 
 __all__ = ["build_gat_conv", "GATLayer", "MultiHeadGATLayer"]
 
@@ -30,17 +30,28 @@ def build_gat_conv(
     """The GAT graph-convolution workload.
 
     ``a_src``/``a_dst`` are the attention vectors (F,); the per-vertex
-    scalars ``X @ a`` are computed here (a dense op in the paper's phase 1)
-    and the edge logits / softmax / aggregation belong to the timed
-    convolution phase.
+    scalars ``X @ a`` are computed at bind time (a dense op in the paper's
+    phase 1) and the edge logits / softmax / aggregation belong to the
+    timed convolution phase.
+
+    GAT as a UDF instance: attention-logit-scaled source send, softmax-
+    normalized sum reduce — the spec whose normalization term derives both
+    the fused kernel's extra passes and the unfused three-stage pipeline.
     """
-    X = np.ascontiguousarray(X, dtype=np.float32)
-    att = AttentionSpec(
-        att_src=(X @ a_src).astype(np.float32),
-        att_dst=(X @ a_dst).astype(np.float32),
-        negative_slope=negative_slope,
-    )
-    return ConvWorkload(graph=graph, X=X, attention=att, reduce="sum")
+    from ..mp import AttentionLogit, MessageSpec, ReduceSpec, bind
+
+    return bind(
+        "gat",
+        MessageSpec(
+            feature="src",
+            scale=AttentionLogit(
+                a_src=a_src, a_dst=a_dst, negative_slope=negative_slope
+            ),
+        ),
+        ReduceSpec(op="sum", normalize="softmax"),
+        graph,
+        X,
+    ).workload()
 
 
 @dataclass

@@ -35,15 +35,21 @@ def gcn_norm(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
 
 
 def build_gcn_conv(graph: CSRGraph, X: np.ndarray) -> ConvWorkload:
-    """The GCN graph-convolution workload (what Table 5 times)."""
-    weights, self_coeff = gcn_norm(graph)
-    return ConvWorkload(
-        graph=graph,
-        X=np.ascontiguousarray(X, dtype=np.float32),
-        edge_weights=weights,
-        self_coeff=self_coeff,
-        reduce="sum",
-    )
+    """The GCN graph-convolution workload (what Table 5 times).
+
+    GCN as a UDF instance: sym-norm-scaled source send, sum reduce, scaled
+    self-term (the compile path is repro.mp — this is the spec, not a
+    hand-built workload).
+    """
+    from ..mp import MessageSpec, ReduceSpec, SelfTerm, SymNorm, bind
+
+    return bind(
+        "gcn",
+        MessageSpec(feature="src", scale=SymNorm()),
+        ReduceSpec(op="sum", self_term=SelfTerm(kind="scaled")),
+        graph,
+        X,
+    ).workload()
 
 
 @dataclass

@@ -20,15 +20,20 @@ __all__ = ["build_gin_conv", "GINLayer"]
 def build_gin_conv(
     graph: CSRGraph, X: np.ndarray, *, eps: float = 0.0
 ) -> ConvWorkload:
-    """The GIN graph-convolution workload (unweighted sum + self term)."""
-    self_coeff = np.full(graph.num_vertices, 1.0 + eps, dtype=np.float32)
-    return ConvWorkload(
-        graph=graph,
-        X=np.ascontiguousarray(X, dtype=np.float32),
-        edge_weights=None,
-        self_coeff=self_coeff,
-        reduce="sum",
-    )
+    """The GIN graph-convolution workload (unweighted sum + self term).
+
+    GIN as a UDF instance: unscaled source send, sum reduce, (1+eps)
+    self-term.
+    """
+    from ..mp import MessageSpec, ReduceSpec, SelfTerm, bind
+
+    return bind(
+        "gin",
+        MessageSpec(feature="src"),
+        ReduceSpec(op="sum", self_term=SelfTerm(kind="eps", eps=eps)),
+        graph,
+        X,
+    ).workload()
 
 
 @dataclass

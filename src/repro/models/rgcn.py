@@ -22,10 +22,19 @@ __all__ = ["build_rgcn_convs", "RGCNLayer"]
 def build_rgcn_convs(
     hetero: HeteroGraph, X: np.ndarray
 ) -> dict[str, ConvWorkload]:
-    """One mean-aggregation ConvWorkload per relation."""
+    """One mean-aggregation ConvWorkload per relation.
+
+    Each relation is the ``rgcn`` UDF instance (plain source send, mean
+    reduce) bound to that relation's graph; the relation weights stay in
+    the dense phase.
+    """
+    from ..mp import MessageSpec, ReduceSpec, bind
+
     X = np.ascontiguousarray(X, dtype=np.float32)
     return {
-        name: ConvWorkload(graph=g, X=X, reduce="mean")
+        name: bind(
+            "rgcn", MessageSpec(feature="src"), ReduceSpec(op="mean"), g, X
+        ).workload()
         for name, g in hetero.relations.items()
     }
 

@@ -19,14 +19,21 @@ __all__ = ["build_sage_conv", "SAGELayer"]
 
 
 def build_sage_conv(graph: CSRGraph, X: np.ndarray) -> ConvWorkload:
-    """The GraphSAGE graph-convolution workload (neighbour mean)."""
-    return ConvWorkload(
-        graph=graph,
-        X=np.ascontiguousarray(X, dtype=np.float32),
-        edge_weights=None,
-        self_coeff=None,
-        reduce="mean",
-    )
+    """The GraphSAGE graph-convolution workload (neighbour mean).
+
+    SAGE as a UDF instance: unscaled source send, mean reduce, concat
+    self-term (combined in the dense phase — the conv adds nothing, but
+    multi-kernel lowerings pay the concat epilogue).
+    """
+    from ..mp import MessageSpec, ReduceSpec, SelfTerm, bind
+
+    return bind(
+        "sage",
+        MessageSpec(feature="src"),
+        ReduceSpec(op="mean", self_term=SelfTerm(kind="concat")),
+        graph,
+        X,
+    ).workload()
 
 
 @dataclass

@@ -1,0 +1,318 @@
+"""Derive kernel effect tables and access patterns from UDF structure.
+
+Before this layer, every :class:`~repro.kernels.base.ConvKernel` wrote
+its :func:`~repro.lint.effects.effect_table` and
+:class:`~repro.lint.access.KernelAccess` by hand — a full stack of
+declarations per kernel, repeated for every workload shape.  Because the
+message-passing algebra is closed, both tables are a *function* of two
+things only:
+
+* the **workload structure** (which scale term the spec uses decides the
+  extra read buffer — ``att`` for an attention logit, ``edge_vals`` for a
+  materialized per-edge scalar, nothing for an unscaled send — and the
+  reduce/self terms decide nothing: they ride the registers), and
+* the **kernel mapping** (:class:`KernelMapping`): which scheduled unit
+  owns what (vertex-warp, vertex-thread, vertex-CTA, source-push,
+  edge-chunk, neighbor-group, edge-tile), how lanes are used, and where
+  the accumulator lives.
+
+``derive_effects`` / ``derive_access`` encode the generic rules once; a
+kernel only states its mapping.  The one-time equivalence suite
+(tests/mp/test_table_equivalence.py) pins the derived tables to the
+previously hand-declared ones, term for term.
+
+The unfused softmax staging (``softmax_stage_access``) lives here too:
+it is the access-side derivation of the UDF normalization term, shared
+by every framework that materializes attention in three launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lint.access import (
+    AccessPattern,
+    Affine,
+    KernelAccess,
+    broadcast,
+    conv_access,
+    gather,
+    lane_stream,
+    scatter,
+)
+from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
+
+__all__ = [
+    "KernelMapping",
+    "derive_access",
+    "derive_effects",
+    "softmax_stage_access",
+]
+
+_UNITS = (
+    "vertex_warp",     # TLPGNN: one lane group per vertex, dims on lanes
+    "vertex_thread",   # pull-thread: one thread per vertex (Figure 3a)
+    "vertex_cta",      # pull-CTA: one block per vertex, smem tree reduce
+    "source_push",     # push: warp per source row, atomic scatter to dsts
+    "edge_chunk",      # edge-centric: COO chunk per warp, atomic scatter
+    "neighbor_group",  # GNNAdvisor: warp per neighbour group, atomic merge
+    "edge_tile",       # edge-parallel warp: lanes sweep edge tiles
+)
+
+
+@dataclass(frozen=True)
+class KernelMapping:
+    """How a conv kernel schedules the convolution — the level-1/level-2
+    choices of the paper's design space, as data.
+
+    Everything the effect/access derivation needs is here: the unit type
+    fixes the access shapes and the merge discipline (exclusive writes
+    for owner-computes units, atomic merges for scatter/partial units),
+    ``lanes`` is the level-2 group width, ``register_cache`` decides
+    whether the accumulator re-reads global memory, and the launch
+    fields bound the resource envelope.
+    """
+
+    unit: str
+    lanes: int = 32
+    register_cache: bool = True
+    warps_per_block: int = 4
+    shared_mem_per_block: int = 0
+    group_size: int = 8  # neighbor_group only: neighbours per group
+    reads_group_table: bool = False
+
+    def __post_init__(self) -> None:
+        if self.unit not in _UNITS:
+            raise ValueError(f"unit must be one of {_UNITS}")
+
+    @property
+    def uses_indptr(self) -> bool:
+        return self.unit != "edge_chunk"
+
+    @property
+    def atomic(self) -> bool:
+        """Whether distinct units may collide on output rows."""
+        return self.unit in ("source_push", "edge_chunk", "neighbor_group")
+
+    def atomic_ops(self, workload) -> int:
+        """Element-level RMW count of the mapping (0 for owner-computes)."""
+        g = workload.graph
+        if self.unit in ("source_push", "edge_chunk"):
+            return g.num_edges * workload.feat_dim
+        if self.unit == "neighbor_group":
+            d = g.in_degrees.astype(np.int64)
+            n_groups = int(
+                np.sum(d // self.group_size + (d % self.group_size > 0))
+            )
+            return n_groups * workload.feat_dim
+        return 0
+
+
+# ----------------------------------------------------------------------
+# effects
+# ----------------------------------------------------------------------
+def derive_effects(mapping: KernelMapping, workload, *, envelope=None):
+    """The effect table of ``mapping`` applied to ``workload``.
+
+    Reads follow from the UDF terms (:func:`conv_read_buffers` — the
+    scale term selects ``att`` / ``edge_vals``); the write-vs-atomic
+    split and the RMW count follow from the mapping's ownership rule.
+    """
+    reads = conv_read_buffers(workload, indptr=mapping.uses_indptr)
+    if mapping.reads_group_table:
+        reads = ("group_table", *reads)
+    launch = envelope or LaunchEnvelope(
+        threads_per_block=mapping.warps_per_block * 32,
+        shared_mem_per_block=mapping.shared_mem_per_block,
+    )
+    if mapping.unit == "source_push":
+        # exclusive init of the own row (self term) + atomic row merges
+        return effect_table(
+            reads=reads,
+            writes=("out",),
+            atomics=("out",),
+            atomic_ops=mapping.atomic_ops(workload),
+            launch=launch,
+        )
+    if mapping.atomic:
+        return effect_table(
+            reads=reads,
+            atomics=("out",),
+            atomic_ops=mapping.atomic_ops(workload),
+            launch=launch,
+        )
+    return effect_table(reads=reads, writes=("out",), launch=launch)
+
+
+# ----------------------------------------------------------------------
+# access patterns
+# ----------------------------------------------------------------------
+def _scalar_pattern(mapping: KernelMapping, workload) -> AccessPattern | None:
+    """How the mapping fetches the per-edge scalar the scale term implies."""
+    if workload.attention is not None:
+        # per-vertex attention scalars gathered warp-uniformly by source id
+        return broadcast(
+            "att", row="indirect", via="indices", trips=("degree",)
+        )
+    if workload.edge_weights is None:
+        return None
+    if mapping.unit == "edge_chunk":
+        return broadcast("edge_vals", trips=("chunk",))
+    if mapping.unit == "vertex_thread":
+        return gather(
+            "edge_vals", row="flat", via=None, trips=("degree",), per="lane"
+        )
+    if mapping.unit == "edge_tile":
+        return AccessPattern(
+            "edge_vals", row="flat", col=Affine(lane=1),
+            trips=("degree", "edge_tiles"),
+        )
+    return broadcast("edge_vals", trips=("degree",))
+
+
+def derive_access(mapping: KernelMapping, workload) -> KernelAccess:
+    """The per-lane access table of ``mapping`` applied to ``workload``.
+
+    Per unit type this reproduces the paper's Figure 5/7 shapes: owner-
+    computes units broadcast their CSR bounds and stream features on the
+    lanes; thread-per-vertex gathers lane by lane (ACC002/DIV001); push,
+    COO and group mappings scatter or merge atomically (ACC004).
+    """
+    L = mapping.lanes
+    u = mapping.unit
+    scalar = _scalar_pattern(mapping, workload)
+    extra_shapes = None
+
+    if u in ("vertex_warp", "vertex_cta"):
+        pats = [
+            broadcast("indptr"),
+            broadcast("indices", trips=("degree",)),
+            lane_stream(
+                "feat", row="indirect", via="indices", lanes=L,
+                trips=("degree", "feat_rounds"),
+            ),
+            lane_stream("out", role="write", lanes=L, trips=("feat_rounds",)),
+        ]
+        if scalar is not None:
+            pats.append(scalar)
+        if not mapping.register_cache:
+            # write-through accumulator: own output row re-read per edge
+            pats.append(
+                lane_stream("out", lanes=L, trips=("degree", "feat_rounds"))
+            )
+    elif u == "vertex_thread":
+        pats = [
+            AccessPattern("indptr", col=Affine(lane=1), row="flat"),
+            gather("indices", row="flat", via=None,
+                   trips=("degree",), per="lane"),
+            gather("feat", via="indices", trips=("degree", "dims"),
+                   per="lane"),
+            AccessPattern("out", role="write", row="lane_unit",
+                          col=Affine(iter=1), trips=("dims",)),
+        ]
+        if scalar is not None:
+            pats.append(scalar)
+    elif u == "source_push":
+        pats = [
+            broadcast("indptr"),
+            broadcast("indices", trips=("degree",)),
+            lane_stream("feat", trips=("feat_rounds",)),
+            lane_stream("out", role="write", trips=("feat_rounds",)),
+            scatter("out", via="indices", trips=("degree", "feat_rounds")),
+        ]
+        if scalar is not None:
+            pats.append(scalar)
+    elif u == "edge_chunk":
+        pats = [
+            broadcast("indices", trips=("chunk",)),
+            lane_stream(
+                "feat", row="indirect", via="indices",
+                trips=("chunk", "feat_rounds"),
+            ),
+            scatter("out", via="indices", trips=("chunk", "feat_rounds")),
+        ]
+        if scalar is not None:
+            pats.append(scalar)
+    elif u == "neighbor_group":
+        d = workload.graph.in_degrees.astype(np.int64)
+        n_groups = int(
+            np.sum(d // mapping.group_size + (d % mapping.group_size > 0))
+        )
+        pats = [
+            broadcast("group_table"),
+            broadcast("indptr"),
+            broadcast("indices", trips=("degree",)),
+            lane_stream(
+                "feat", row="indirect", via="indices", lanes=L,
+                trips=("degree", "feat_rounds"),
+            ),
+            lane_stream("out", role="atomic", trips=("feat_rounds",)),
+        ]
+        if scalar is not None:
+            pats.append(scalar)
+        extra_shapes = {"group_table": (max(n_groups, 1), 3)}
+    else:  # edge_tile
+        pats = [
+            broadcast("indptr"),
+            AccessPattern("indices", row="flat", col=Affine(lane=1),
+                          trips=("degree", "edge_tiles")),
+            gather("feat", via="indices",
+                   trips=("degree", "edge_tiles", "dims")),
+            lane_stream("out", role="write", trips=("feat_rounds",)),
+        ]
+        if scalar is not None:
+            pats.append(scalar)
+    return conv_access(workload, *pats, extra_shapes=extra_shapes)
+
+
+# ----------------------------------------------------------------------
+# the unfused softmax staging (derived from the normalization term)
+# ----------------------------------------------------------------------
+def softmax_stage_access(
+    workload,
+    *,
+    logits: str = "tmp:logits",
+    alpha: str = "tmp:alpha",
+) -> dict[str, KernelAccess]:
+    """Access tables of the three unfused softmax stages, keyed by stage.
+
+    The staging is the UDF normalization term made explicit: ApplyEdge
+    materializes the logits (gathering the two per-vertex attention
+    scalars through ``indices`` — the pipeline's uncoalesced step,
+    ACC002), the softmax normalizes them per destination segment, and
+    the aggregate consumes the per-edge alphas.  ``alpha`` names the
+    buffer the softmax materializes (FeatGraph keeps a transient, the
+    unfused TLPGNN path writes the downstream kernel's ``edge_vals``).
+    """
+    E = workload.graph.num_edges
+    apply_edge = conv_access(
+        workload,
+        lane_stream("indices", row="flat", span=E),
+        gather("att", via="indices"),
+        lane_stream(logits, role="write", row="flat", span=E),
+    )
+    softmax = conv_access(
+        workload,
+        lane_stream(logits, row="flat", span=E),
+        broadcast("indptr"),
+        lane_stream(alpha, role="write", row="flat", span=E),
+    )
+    aggregate = conv_access(
+        workload,
+        broadcast("indptr"),
+        broadcast("indices", trips=("degree",)),
+        broadcast(alpha, trips=("degree",)),
+        lane_stream(
+            "feat", row="indirect", via="indices",
+            trips=("degree", "feat_rounds"),
+        ),
+        lane_stream("out", trips=("degree", "feat_rounds")),
+        lane_stream("out", role="write", trips=("feat_rounds",)),
+    )
+    return {
+        "apply_edge": apply_edge,
+        "softmax": softmax,
+        "aggregate": aggregate,
+    }

@@ -1,0 +1,283 @@
+"""Generic lowering rules: UDF terms -> framework pipeline stages.
+
+Each framework used to hard-code one ``_lower`` branch per model name.
+This module replaces those branches with rules over the spec structure:
+
+* :func:`dgl_stage_plan` — the DGL baseline's fine-grained kernel
+  pipeline, derived stage by stage from the scale / reduce / self terms
+  (the paper's 6 / 8 / 10 / 18 launch counts fall out of the rules),
+* :func:`softmax_stages` — the unfused attention staging (apply-edge ->
+  edge-softmax -> aggregate) shared by FeatGraph's TVM pipeline and the
+  TLPGNN ``fusion=False`` ablation; the dataflow (read/write buffers) of
+  each stage is defined here, once, next to the normalization term that
+  implies it,
+* :func:`model_features` — the feature predicate frameworks use for
+  ``supports()``: a system accepts or declines a model by its *terms*
+  (softmax, reduce op, send side), not by its name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .builtins import is_registered, resolve
+from .spec import EdgeScalar, MPModel, SymNorm
+
+__all__ = [
+    "GlueStage",
+    "ModelFeatures",
+    "SoftmaxStage",
+    "SpmmStage",
+    "dgl_stage_plan",
+    "model_features",
+    "softmax_stages",
+]
+
+
+# ----------------------------------------------------------------------
+# feature predicates (what supports() consults)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModelFeatures:
+    """The lowering-relevant structure of a registered model."""
+
+    name: str
+    feature: str  # which endpoint the send gathers
+    scale: str  # "none" | "sym_norm" | "edge_scalar" | "attention"
+    op: str  # sum | mean | max
+    softmax: bool
+    self_kind: str | None  # None | "scaled" | "eps" | "concat"
+
+
+def model_features(name: str) -> ModelFeatures | None:
+    """Structure of ``name``'s spec, or None if it is not registered."""
+    if not is_registered(name):
+        return None
+    message, reduce_ = resolve(name)
+    scale = message.scale
+    if scale is None:
+        kind = "none"
+    elif isinstance(scale, SymNorm):
+        kind = "sym_norm"
+    elif isinstance(scale, EdgeScalar):
+        kind = "edge_scalar"
+    else:
+        kind = "attention"
+    st = reduce_.self_term
+    return ModelFeatures(
+        name=name.lower(),
+        feature=message.feature,
+        scale=kind,
+        op=reduce_.op,
+        softmax=reduce_.normalize == "softmax",
+        self_kind=st.kind if st is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# the unfused softmax staging (dataflow of the normalization term)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SoftmaxStage:
+    """One launch of the unfused softmax pipeline: its effect dataflow."""
+
+    key: str  # "apply_edge" | "softmax" | "aggregate"
+    reads: tuple[str, ...]
+    write: str
+
+
+def softmax_stages(
+    *, logits: str = "tmp:logits", alpha: str = "tmp:alpha"
+) -> tuple[SoftmaxStage, SoftmaxStage, SoftmaxStage]:
+    """The three-stage expansion of ``normalize='softmax'``.
+
+    ApplyEdge materializes per-edge logits from the gathered attention
+    scalars; the softmax normalizes them per destination segment into
+    ``alpha``; the aggregate consumes the alphas as edge values.  The
+    matching access tables come from
+    :func:`repro.mp.derive.softmax_stage_access`.
+    """
+    return (
+        SoftmaxStage("apply_edge", ("indices", "att"), logits),
+        SoftmaxStage("softmax", (logits, "indptr"), alpha),
+        SoftmaxStage("aggregate", (alpha, "indptr", "indices", "feat"), "out"),
+    )
+
+
+# ----------------------------------------------------------------------
+# the DGL baseline's stage plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GlueStage:
+    """One fine-grained glue launch (elementwise / gather / segment).
+
+    ``items`` is symbolic (``"n"`` vertices, ``"e"`` edges, ``"nf"``
+    feature elements); ``reads`` may be the symbol ``"F"`` (one read per
+    feature dim) and ``writes`` the symbol ``"seg"`` (one write per
+    destination segment, ``n/max(E,1)``).  ``gb`` marks the reads
+    fetched through per-edge vertex ids (the gather-random subset).
+    """
+
+    name: str
+    items: str
+    reads: float | str = 2.0
+    writes: float | str = 1.0
+    rb: tuple[str, ...] = ()
+    wb: str = "tmp:x"
+    gb: tuple[str, ...] = ()
+    gather: bool = False  # per-edge gather of a per-vertex scalar array
+
+
+@dataclass(frozen=True)
+class SpmmStage:
+    """The aggregation launch: cuSPARSE row-parallel CSR SpMM, or the
+    COO scatter path with atomicAdd for materialized per-edge weights."""
+
+    weighted: bool
+    coo_atomic: bool = False
+    rb: tuple[str, ...] = ()
+    wb: str = "tmp:agg"
+
+
+def _softmax_prologue() -> list[GlueStage]:
+    """The 15-launch expansion DGL pays to materialize edge softmax:
+    two projections, per-edge logit assembly (with three gather-random
+    steps), the numerically-stable max/exp/sum/div chain, and the
+    CSR->COO conversion the scatter SpMM needs."""
+    return [
+        GlueStage("att_src_proj", "n", "F", 1, rb=("feat",), wb="tmp:asrc"),
+        GlueStage("att_dst_proj", "n", "F", 1, rb=("feat",), wb="tmp:adst"),
+        GlueStage("gather_u", "e", 1, 1, rb=("tmp:asrc", "indices"),
+                  wb="tmp:eu", gb=("tmp:asrc",), gather=True),
+        GlueStage("gather_v", "e", 1, 1, rb=("tmp:adst", "indices"),
+                  wb="tmp:ev", gb=("tmp:adst",), gather=True),
+        GlueStage("edge_add", "e", 2, 1, rb=("tmp:eu", "tmp:ev"),
+                  wb="tmp:elog"),
+        GlueStage("leaky_relu", "e", 1, 1, rb=("tmp:elog",), wb="tmp:elr"),
+        GlueStage("copy_e", "e", 1, 1, rb=("tmp:elr",), wb="tmp:ecp"),
+        GlueStage("segment_max", "e", 1, "seg", rb=("tmp:ecp", "indptr"),
+                  wb="tmp:vmax"),
+        GlueStage("gather_max", "e", 1, 1, rb=("tmp:vmax", "indices"),
+                  wb="tmp:emax", gb=("tmp:vmax",), gather=True),
+        GlueStage("sub", "e", 2, 1, rb=("tmp:elr", "tmp:emax"),
+                  wb="tmp:esub"),
+        GlueStage("exp", "e", 1, 1, rb=("tmp:esub",), wb="tmp:eexp"),
+        GlueStage("segment_sum", "e", 1, "seg", rb=("tmp:eexp", "indptr"),
+                  wb="tmp:vsum"),
+        GlueStage("gather_sum", "e", 1, 1, rb=("tmp:vsum", "indices"),
+                  wb="tmp:esum", gb=("tmp:vsum",), gather=True),
+        GlueStage("div", "e", 2, 1, rb=("tmp:eexp", "tmp:esum"),
+                  wb="tmp:alpha"),
+        GlueStage("coo2csr", "e", 2, 2, rb=("indptr", "indices"),
+                  wb="tmp:coo"),
+    ]
+
+
+def dgl_stage_plan(model: MPModel) -> list[GlueStage | SpmmStage]:
+    """Derive the DGL pipeline for one bound model, term by term.
+
+    The rules (each keyed to a spec feature, not a model name):
+
+    * softmax normalization -> the 15-launch prologue + COO scatter SpMM
+      (the reason DGL's GAT is its slowest model on large graphs),
+    * otherwise: degree computation whenever a term needs degrees
+      (vertex norm, mean reduce, or any self-term), a pre-scale
+      (``u_mul_norm``) for the vertex-factorized norm or a message copy
+      (``copy_u``), the CSR sanity check, and the row-parallel SpMM
+      (weighted when a per-edge scalar is materialized),
+    * mean reduce -> the count / clamp / divide epilogue,
+    * vertex norm -> the ``v_mul_norm`` post-scale,
+    * self-terms -> their materialization epilogues (GCN's in-place
+      ``add_self``; GIN's scale + add + fresh-output fill/cast; SAGE's
+      concat staging; attention's head reshape + cast).
+    """
+    scale = model.message.scale
+    red = model.reduce
+    stages: list[GlueStage | SpmmStage] = []
+
+    if model.has_softmax:
+        stages += _softmax_prologue()
+        stages.append(
+            SpmmStage(weighted=True, coo_atomic=True,
+                      rb=("tmp:coo", "tmp:alpha", "feat"), wb="tmp:aggw")
+        )
+        agg = "tmp:aggw"
+    else:
+        vertex_norm = isinstance(scale, SymNorm)
+        edge_scalar = isinstance(scale, EdgeScalar)
+        needs_deg = (
+            vertex_norm or red.op == "mean" or red.self_term is not None
+        )
+        if needs_deg:
+            stages.append(
+                GlueStage("degs", "n", 2, 1, rb=("indptr",), wb="tmp:deg")
+            )
+        if vertex_norm:
+            msg = "tmp:xn"
+            stages.append(
+                GlueStage("u_mul_norm", "nf", 2, 1,
+                          rb=("feat", "tmp:deg"), wb=msg)
+            )
+        else:
+            msg = "tmp:xc"
+            stages.append(
+                GlueStage("copy_u", "nf", 1, 1, rb=("feat",), wb=msg)
+            )
+        stages.append(
+            GlueStage("csr_check", "e", 1, 1,
+                      rb=("indptr", "indices"), wb="tmp:csr_ok")
+        )
+        rb = ("indptr", "indices", msg)
+        if edge_scalar:
+            rb = (*rb, "edge_vals")
+        stages.append(
+            SpmmStage(weighted=edge_scalar, rb=rb, wb="tmp:agg")
+        )
+        agg = "tmp:agg"
+
+    if red.op == "mean":
+        stages += [
+            GlueStage("count", "n", 1, 1, rb=("indptr",), wb="tmp:cnt"),
+            GlueStage("clamp", "n", 1, 1, rb=("tmp:cnt",), wb="tmp:cntc"),
+            GlueStage("div_deg", "nf", 2, 1,
+                      rb=(agg, "tmp:cntc"), wb="tmp:mean"),
+        ]
+        agg = "tmp:mean"
+    if isinstance(scale, SymNorm):
+        stages.append(
+            GlueStage("v_mul_norm", "nf", 2, 1,
+                      rb=(agg, "tmp:deg"), wb="tmp:aggn")
+        )
+        agg = "tmp:aggn"
+
+    st = red.self_term
+    if st is not None and st.kind == "scaled":
+        stages.append(
+            GlueStage("add_self", "nf", 2, 1, rb=(agg, "feat"), wb="out")
+        )
+    elif st is not None and st.kind == "eps":
+        stages += [
+            GlueStage("eps_scale", "nf", 1, 1, rb=("feat",), wb="tmp:eps"),
+            GlueStage("add_self", "nf", 2, 1,
+                      rb=(agg, "tmp:eps"), wb="tmp:sum"),
+            GlueStage("fill", "nf", 0.5, 1, rb=(), wb="tmp:fill"),
+            GlueStage("cast", "nf", 1, 1, rb=("tmp:sum",), wb="out"),
+        ]
+    elif st is not None and st.kind == "concat":
+        stages += [
+            GlueStage("fill", "nf", 0.5, 1, rb=(), wb="tmp:fill"),
+            GlueStage("concat_prep", "nf", 1, 1,
+                      rb=(agg, "feat"), wb="tmp:cat"),
+            GlueStage("cast", "nf", 1, 1, rb=("tmp:cat",), wb="out"),
+        ]
+    elif model.has_softmax:
+        stages += [
+            GlueStage("reshape_out", "nf", 1, 1, rb=(agg,), wb="tmp:resh"),
+            GlueStage("cast_out", "nf", 1, 1, rb=("tmp:resh",), wb="out"),
+        ]
+    else:
+        # no combining term: one materialization launch lands the output
+        stages.append(
+            GlueStage("cast", "nf", 1, 1, rb=(agg,), wb="out")
+        )
+    return stages

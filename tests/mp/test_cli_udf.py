@@ -1,0 +1,76 @@
+"""CLI coverage: ``repro udf`` — derived lowering/effects/access views."""
+
+import io
+import json
+
+from repro import cli
+from repro.mp import EdgeScalar, MessageSpec, ReduceSpec, register, unregister
+
+ARGS = ["--max-edges", "60000"]
+
+
+def _run(argv):
+    out = io.StringIO()
+    rc = cli.main([*ARGS, *argv], out=out)
+    return rc, out.getvalue()
+
+
+def test_udf_lists_registered_models():
+    rc, text = _run(["udf"])
+    assert rc == 0
+    for name in ("gcn", "gin", "sage", "gat", "rgcn"):
+        assert f"{name}: recv[" in text
+
+
+def test_udf_describes_builtin_gat():
+    rc, text = _run(["udf", "gat", "--dataset", "CR"])
+    assert rc == 0
+    assert "softmax=yes" in text
+    assert "18 kernel(s)" in text  # derived DGL pipeline
+    assert "unfused softmax staging" in text
+    assert "derived effects" in text
+    assert "derived access" in text
+
+
+def test_udf_json_is_machine_readable():
+    rc, text = _run(["udf", "gcn", "--json"])
+    assert rc == 0
+    info = json.loads(text)
+    assert info["terms"] == {
+        "feature": "src",
+        "scale": "sym_norm",
+        "op": "sum",
+        "softmax": False,
+        "self": "scaled",
+    }
+    assert all(info["systems"][s]["supported"] for s in info["systems"])
+    assert info["systems"]["DGL"]["kernels"][-1] == "add_self"
+    assert "out" in info["effects"]["writes"]
+    assert {row["buffer"] for row in info["access"]} >= {
+        "indptr", "indices", "feat", "out"
+    }
+
+
+def test_udf_describes_user_registered_model():
+    register(
+        "clitest",
+        lambda: (MessageSpec(scale=EdgeScalar()), ReduceSpec(op="max")),
+        replace=True,
+    )
+    try:
+        rc, text = _run(["udf", "clitest", "--json"])
+        assert rc == 0
+        info = json.loads(text)
+        assert info["terms"]["op"] == "max"
+        # max reduce: DGL/GNNAdvisor decline from the terms alone
+        assert not info["systems"]["DGL"]["supported"]
+        assert not info["systems"]["GNNAdvisor"]["supported"]
+        assert info["systems"]["TLPGNN"]["supported"]
+    finally:
+        unregister("clitest")
+
+
+def test_udf_unknown_model_exits_two():
+    rc, text = _run(["udf", "nosuchmodel"])
+    assert rc == 2
+    assert "unknown model" in text

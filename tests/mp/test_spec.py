@@ -1,0 +1,202 @@
+"""Unit tests for the message-passing UDF algebra and registry.
+
+Covers the closed-world validation rules, the numeric semantics of the
+dst-send fold, registry extension/protection, and signature determinism.
+Byte-identity of the builtin specs against the old hand-written builders
+is pinned separately by the golden plan regression suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import from_edge_list
+from repro.models.convspec import reference_aggregate
+from repro.mp.spec import validate
+from repro.mp import (
+    AttentionLogit,
+    EdgeScalar,
+    MessageSpec,
+    ReduceSpec,
+    SelfTerm,
+    SymNorm,
+    bind,
+    build_model,
+    is_registered,
+    register,
+    registered_models,
+    resolve,
+    unregister,
+)
+
+
+@pytest.fixture()
+def cell():
+    # 5 vertices, one isolated (vertex 4) to exercise the zero-degree paths
+    src = [0, 1, 2, 3, 0, 2, 1]
+    dst = [1, 0, 0, 1, 2, 3, 3]
+    graph = from_edge_list(src, dst, 5, name="toy")
+    rng = np.random.default_rng(7)
+    X = rng.standard_normal((5, 6)).astype(np.float32)
+    return graph, X
+
+
+# ----------------------------------------------------------------------
+# closed-world validation
+# ----------------------------------------------------------------------
+def test_attention_requires_softmax():
+    with pytest.raises(ValueError, match="normalize='softmax'"):
+        validate(MessageSpec(scale=AttentionLogit()), ReduceSpec(op="sum"))
+
+
+def test_softmax_requires_attention():
+    with pytest.raises(ValueError, match="AttentionLogit"):
+        validate(
+            MessageSpec(scale=SymNorm()),
+            ReduceSpec(op="sum", normalize="softmax"),
+        )
+
+
+@pytest.mark.parametrize(
+    "reduce_",
+    [
+        ReduceSpec(op="max"),
+        ReduceSpec(op="sum", self_term=SelfTerm(kind="eps")),
+    ],
+    ids=["max", "self-term"],
+)
+def test_dst_send_composition_rules(reduce_):
+    with pytest.raises(ValueError, match="feature='dst'"):
+        validate(MessageSpec(feature="dst"), reduce_)
+
+
+def test_term_constructor_validation():
+    with pytest.raises(ValueError, match="feature"):
+        MessageSpec(feature="edge")
+    with pytest.raises(ValueError, match="scale"):
+        MessageSpec(scale=object())
+    with pytest.raises(ValueError, match="op"):
+        ReduceSpec(op="min")
+    with pytest.raises(ValueError, match="normalize"):
+        ReduceSpec(normalize="l2")
+    with pytest.raises(ValueError, match="sum reduce"):
+        ReduceSpec(op="mean", normalize="softmax")
+    with pytest.raises(ValueError, match="kind"):
+        SelfTerm(kind="gate")
+
+
+# ----------------------------------------------------------------------
+# compile semantics
+# ----------------------------------------------------------------------
+def test_dst_fold_matches_direct_semantics(cell):
+    # recv[sum] of send[w * feat[dst]]: each in-edge of u contributes
+    # w[e] * X[u], so out[u] = (sum of w over in-edges of u) * X[u]
+    graph, X = cell
+    rng = np.random.default_rng(3)
+    w = rng.uniform(0.5, 2.0, graph.num_edges).astype(np.float32)
+    model = bind(
+        "dstsum",
+        MessageSpec(feature="dst", scale=EdgeScalar(values=w)),
+        ReduceSpec(op="sum"),
+        graph,
+        X,
+    )
+    got = reference_aggregate(model.workload())
+    seg_w = np.add.reduceat(
+        np.append(w.astype(np.float64), 0.0), graph.indptr[:-1]
+    )
+    seg_w = np.where(graph.in_degrees > 0, seg_w, 0.0)
+    want = (seg_w[:, None] * X.astype(np.float64)).astype(np.float32)
+    np.testing.assert_allclose(got, want, rtol=1e-6, atol=1e-6)
+    # isolated vertex contributes nothing
+    assert np.all(got[graph.in_degrees == 0] == 0.0)
+
+
+def test_dst_fold_mean_divides_by_degree(cell):
+    graph, X = cell
+    model = bind(
+        "dstmean",
+        MessageSpec(feature="dst"),
+        ReduceSpec(op="mean"),
+        graph,
+        X,
+    )
+    got = reference_aggregate(model.workload())
+    # unweighted mean of d copies of X[u] is exactly X[u] wherever d > 0
+    live = graph.in_degrees > 0
+    np.testing.assert_allclose(got[live], X[live], rtol=1e-6, atol=1e-6)
+    assert np.all(got[~live] == 0.0)
+
+
+def test_edge_scalar_defaults_to_ones(cell):
+    graph, X = cell
+    weighted = bind(
+        "ew", MessageSpec(scale=EdgeScalar()), ReduceSpec(), graph, X
+    )
+    plain = bind("plain", MessageSpec(), ReduceSpec(), graph, X)
+    np.testing.assert_array_equal(
+        weighted.workload().resolved_edge_weights(),
+        np.ones(graph.num_edges, dtype=np.float32),
+    )
+    np.testing.assert_allclose(
+        reference_aggregate(weighted.workload()),
+        reference_aggregate(plain.workload()),
+    )
+
+
+def test_bind_is_deterministic_for_drawn_attention(cell):
+    graph, X = cell
+    spec = lambda: (  # noqa: E731
+        MessageSpec(scale=AttentionLogit()),
+        ReduceSpec(op="sum", normalize="softmax"),
+    )
+    a = bind("g1", *spec(), graph, X, rng=np.random.default_rng(11))
+    b = bind("g2", *spec(), graph, X, rng=np.random.default_rng(11))
+    np.testing.assert_array_equal(
+        a.workload().attention.att_src, b.workload().attention.att_src
+    )
+    np.testing.assert_array_equal(
+        a.workload().resolved_edge_weights(),
+        b.workload().resolved_edge_weights(),
+    )
+
+
+def test_signature_is_structural_and_deterministic(cell):
+    graph, X = cell
+    m = build_model("gcn", graph, X)
+    assert m.signature() == (
+        "gcn: recv[sum + self[1/(d+1) * x]] of send[sym_norm * feat[src]]"
+    )
+    assert m.signature() == build_model("gcn", graph, X).signature()
+    assert build_model("gat", graph, X).has_softmax
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_round_trip(cell):
+    graph, X = cell
+
+    def _builder():
+        return MessageSpec(scale=EdgeScalar()), ReduceSpec(op="max")
+
+    register("MaxPoolTest", _builder)
+    try:
+        assert is_registered("maxpooltest")
+        assert "maxpooltest" in registered_models()
+        model = build_model("maxpooltest", graph, X)
+        assert model.reduce.op == "max"
+        with pytest.raises(ValueError, match="already registered"):
+            register("maxpooltest", _builder)
+        register("maxpooltest", _builder, replace=True)
+    finally:
+        unregister("maxpooltest")
+    assert not is_registered("maxpooltest")
+    with pytest.raises(KeyError):
+        resolve("maxpooltest")
+
+
+def test_builtins_are_protected():
+    with pytest.raises(ValueError, match="builtin"):
+        unregister("gcn")
+    for name in ("gcn", "gin", "sage", "graphsage", "gat", "rgcn"):
+        assert is_registered(name)

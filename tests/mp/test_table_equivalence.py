@@ -1,0 +1,132 @@
+"""One-time equivalence gate: derived tables == hand-declared tables.
+
+``tests/data/table_equivalence.json`` was captured from the tree *before*
+the kernels switched to spec-derived effect/access tables (see
+``tools/pin_kernel_tables.py`` for provenance): 4 builtin models x 10
+kernel configurations, each pinning the full hand-written
+``effects()`` / ``access_patterns()`` output, plus both parameterizations
+of the unfused softmax staging.  Every kernel now *derives* its tables
+from its :class:`~repro.mp.derive.KernelMapping` and the workload's UDF
+terms — this suite proves the derivation reproduces the declarations
+byte for byte.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BenchConfig, get_dataset, make_features
+from repro.kernels.edge_centric import EdgeCentricKernel
+from repro.kernels.edge_parallel_warp import EdgeParallelWarpKernel
+from repro.kernels.fusion import three_kernel_gat_access
+from repro.kernels.neighbor_group import NeighborGroupKernel
+from repro.kernels.pull_cta import PullCTAKernel
+from repro.kernels.pull_thread import PullThreadKernel
+from repro.kernels.push import PushKernel
+from repro.kernels.tlpgnn import TLPGNNKernel
+from repro.models import build_conv
+from repro.mp import softmax_stage_access
+
+FIXTURE = Path(__file__).parent.parent / "data" / "table_equivalence.json"
+
+KERNELS = {
+    "tlpgnn_default": lambda: TLPGNNKernel(),
+    "tlpgnn_software_nrc": lambda: TLPGNNKernel(
+        assignment="software", register_cache=False
+    ),
+    "tlpgnn_g16": lambda: TLPGNNKernel(group_size=16, assignment="static"),
+    "pull_thread": lambda: PullThreadKernel(),
+    "pull_cta": lambda: PullCTAKernel(),
+    "pull_cta_w8": lambda: PullCTAKernel(warps_per_block=8),
+    "push": lambda: PushKernel(),
+    "edge_centric": lambda: EdgeCentricKernel(),
+    "neighbor_group_gs3": lambda: NeighborGroupKernel(group_size=3),
+    "edge_parallel_warp": lambda: EdgeParallelWarpKernel(),
+}
+
+
+def _jsonable(obj):
+    if dataclasses.is_dataclass(obj):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(obj).items()}
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    return obj
+
+
+def _round_trip(obj):
+    return json.loads(json.dumps(_jsonable(obj)))
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def cell(fixture):
+    config = BenchConfig(max_edges=fixture["max_edges"])
+    graph = get_dataset(fixture["dataset"], config).graph
+    X = make_features(graph.num_vertices, fixture["feat_dim"], seed=0)
+    return graph, X
+
+
+def _pairs(fixture_path=FIXTURE):
+    fix = json.loads(fixture_path.read_text())
+    return [
+        (model, kname)
+        for model, per_kernel in sorted(fix["cells"].items())
+        for kname in sorted(per_kernel)
+    ]
+
+
+@pytest.mark.parametrize(
+    "model,kname", _pairs(), ids=[f"{m}-{k}" for m, k in _pairs()]
+)
+def test_derived_tables_match_declared(model, kname, fixture, cell):
+    graph, X = cell
+    workload = build_conv(model, graph, X, rng=np.random.default_rng(0))
+    kernel = KERNELS[kname]()
+    assert kernel.supports(workload)
+    want = fixture["cells"][model][kname]
+    assert _round_trip(kernel.effects(workload)) == want["effects"], (
+        f"{model}/{kname}: derived effect table drifted from the "
+        "hand-declared pin"
+    )
+    assert _round_trip(kernel.access_patterns(workload)) == want["access"], (
+        f"{model}/{kname}: derived access table drifted from the "
+        "hand-declared pin"
+    )
+
+
+@pytest.mark.parametrize(
+    "fkey,kwargs",
+    [
+        ("softmax_stages", {}),
+        ("softmax_stages_alpha_edge_vals", {"alpha": "edge_vals"}),
+    ],
+)
+def test_softmax_staging_matches_declared(fkey, kwargs, fixture, cell):
+    graph, X = cell
+    workload = build_conv("gat", graph, X, rng=np.random.default_rng(0))
+    got = {
+        key: _round_trip(acc)
+        for key, acc in softmax_stage_access(workload, **kwargs).items()
+    }
+    assert got == fixture[fkey]
+
+
+def test_fusion_wrapper_delegates_to_derivation(cell):
+    graph, X = cell
+    workload = build_conv("gat", graph, X, rng=np.random.default_rng(0))
+    assert _round_trip(three_kernel_gat_access(workload)) == _round_trip(
+        softmax_stage_access(workload)
+    )

@@ -16,6 +16,7 @@ ALL = [
     "hetero_rgcn.py",
     "train_gcn.py",
     "trace_timeline.py",
+    "custom_conv.py",
 ]
 
 

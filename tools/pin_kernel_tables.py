@@ -1,0 +1,115 @@
+"""Pin the hand-declared kernel effect/access tables to a JSON fixture.
+
+Run once, against the tree *before* kernels switch to derived tables:
+
+    PYTHONPATH=src python tools/pin_kernel_tables.py
+
+The output (tests/data/table_equivalence.json) is the ground truth the
+one-time equivalence suite (tests/mp/test_table_equivalence.py) compares
+the spec-derived tables against.  The fixture is committed; this script
+stays only as provenance of how it was produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import BenchConfig, get_dataset, make_features
+from repro.kernels.edge_centric import EdgeCentricKernel
+from repro.kernels.edge_parallel_warp import EdgeParallelWarpKernel
+from repro.kernels.fusion import three_kernel_gat_access
+from repro.kernels.neighbor_group import NeighborGroupKernel
+from repro.kernels.pull_cta import PullCTAKernel
+from repro.kernels.pull_thread import PullThreadKernel
+from repro.kernels.push import PushKernel
+from repro.kernels.tlpgnn import TLPGNNKernel
+from repro.models import build_conv
+
+KERNELS = {
+    "tlpgnn_default": lambda: TLPGNNKernel(),
+    "tlpgnn_software_nrc": lambda: TLPGNNKernel(
+        assignment="software", register_cache=False
+    ),
+    "tlpgnn_g16": lambda: TLPGNNKernel(group_size=16, assignment="static"),
+    "pull_thread": lambda: PullThreadKernel(),
+    "pull_cta": lambda: PullCTAKernel(),
+    "pull_cta_w8": lambda: PullCTAKernel(warps_per_block=8),
+    "push": lambda: PushKernel(),
+    "edge_centric": lambda: EdgeCentricKernel(),
+    "neighbor_group_gs3": lambda: NeighborGroupKernel(group_size=3),
+    "edge_parallel_warp": lambda: EdgeParallelWarpKernel(),
+}
+
+MODELS = ("gcn", "gin", "sage", "gat")
+
+
+def to_jsonable(obj):
+    if dataclasses.is_dataclass(obj):
+        return {
+            k: to_jsonable(v)
+            for k, v in dataclasses.asdict(obj).items()
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    return obj
+
+
+def main() -> None:
+    config = BenchConfig(max_edges=60_000)
+    ds = get_dataset("CR", config)
+    g = ds.graph
+    X = make_features(g.num_vertices, 48, seed=0)
+
+    cells = {}
+    for model in MODELS:
+        w = build_conv(model, g, X, rng=np.random.default_rng(0))
+        per_kernel = {}
+        for kname, make in KERNELS.items():
+            k = make()
+            if not k.supports(w):
+                continue
+            per_kernel[kname] = {
+                "effects": to_jsonable(k.effects(w)),
+                "access": to_jsonable(k.access_patterns(w)),
+            }
+        cells[model] = per_kernel
+
+    gat_w = build_conv("gat", g, X, rng=np.random.default_rng(0))
+    softmax = {
+        key: to_jsonable(acc)
+        for key, acc in three_kernel_gat_access(gat_w).items()
+    }
+    softmax_alpha = {
+        key: to_jsonable(acc)
+        for key, acc in three_kernel_gat_access(
+            gat_w, alpha="edge_vals"
+        ).items()
+    }
+
+    out = {
+        "dataset": "CR",
+        "max_edges": 60_000,
+        "feat_dim": 48,
+        "cells": cells,
+        "softmax_stages": softmax,
+        "softmax_stages_alpha_edge_vals": softmax_alpha,
+    }
+    path = Path(__file__).resolve().parents[1] / "tests" / "data"
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / "table_equivalence.json"
+    target.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {target} ({target.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()
