@@ -185,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--opt", choices=["off", "safe", "search"], default=None,
                     help="plan-IR optimizer level for the served pipeline "
                     "(search consults the tuned-plan store first)")
+    sv.add_argument("--lint", action="store_true",
+                    help="preflight: statically lint the served plan and "
+                    "its cross-stream schedule; refuse to serve on "
+                    "error-severity findings")
 
     top = sub.add_parser(
         "top", help="serve with SLO monitoring and render the health "
@@ -267,13 +271,21 @@ def build_parser() -> argparse.ArgumentParser:
                     "(plan/code/severity/op/buffer/message) instead of text")
     li.add_argument("--baseline", default=None, metavar="FILE",
                     help="suppress findings recorded in this baseline JSON "
-                    "(keyed plan/code/op/buffer)")
+                    "(keyed plan/code/op/buffer); stale suppressions are "
+                    "reported")
     li.add_argument("--write-baseline", default=None, metavar="FILE",
                     help="record every finding of this run into FILE as a "
                     "baseline for --baseline")
+    li.add_argument("--prune-baseline", action="store_true",
+                    help="with --baseline: rewrite the file dropping "
+                    "suppressions that match no current finding")
     li.add_argument("--explain", default=None, metavar="CODE",
                     help="print the registry entry for one finding code "
-                    "(e.g. ACC002) and exit")
+                    "(e.g. ACC002) and exit; unknown codes exit 2 with "
+                    "the nearest registered code suggested")
+    li.add_argument("--streams", type=int, default=2,
+                    help="streams for the per-cell serving race self-check "
+                    "(default 2; 0 disables the check)")
 
     op = sub.add_parser(
         "opt",
@@ -558,6 +570,27 @@ def _make_servable(args: argparse.Namespace, config, out):
     return servable, spec
 
 
+def _serve_preflight(servable, spec, streams: int, out) -> int:
+    """``serve --lint``: statically verify the plan and its cross-stream
+    schedule before admitting any traffic.  Non-zero = refuse to serve."""
+    from .lint import lint_plan, lint_schedule, serving_schedule
+
+    plan = servable.system.lower(
+        servable.model, servable.data, servable.X, spec
+    )
+    report = lint_plan(plan, spec)
+    sched_report = lint_schedule(
+        serving_schedule(plan, num_streams=max(streams, 1), batches=2)
+    )
+    print(report.render(), file=out)
+    print(sched_report.render(), file=out)
+    if report.errors or sched_report.errors:
+        print("serve preflight: REFUSED (error-severity findings)", file=out)
+        return 1
+    print("serve preflight: ok", file=out)
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace, out) -> int:
     import json
 
@@ -598,6 +631,10 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
             if made is None:
                 return 1
             servable, spec = made
+            if args.lint:
+                rc = _serve_preflight(servable, spec, streams, out)
+                if rc:
+                    return rc
             rate = args.rate or 0.5 / servable.offline_runtime_s
             cfg = ServeConfig(
                 arrival=args.arrival, rate_hz=rate, num_requests=num_requests,
@@ -808,22 +845,36 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
     import json
 
     from .frameworks.base import CapacityError, UnsupportedModelError
-    from .lint import lint_plan
+    from .lint import (
+        finding_rows,
+        lint_plan,
+        race_findings,
+        serving_schedule,
+    )
     from .lint.report import LintReport
 
     if args.explain:
-        from .lint import explain
+        from .lint import RULES, explain
 
         try:
             print(explain(args.explain.upper()), file=out)
         except KeyError:
-            print(f"unknown finding code: {args.explain}", file=out)
+            import difflib
+
+            close = difflib.get_close_matches(
+                args.explain.upper(), sorted(RULES), n=1, cutoff=0.4
+            )
+            hint = f" — did you mean {close[0]}?" if close else ""
+            print(f"unknown finding code: {args.explain}{hint}", file=out)
             return 2
         return 0
 
     baseline_keys: set[tuple[str, str, str, str]] = set()
+    baseline_entries: list[dict] = []
     if args.baseline:
         try:
+            with open(args.baseline) as fh:
+                baseline_entries = json.load(fh).get("findings", [])
             baseline_keys = _load_baseline(args.baseline)
         except (OSError, ValueError) as exc:
             print(f"error: cannot read baseline {args.baseline}: {exc}",
@@ -837,6 +888,7 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
     errors = warnings_ = cells = suppressed = kept_total = 0
     kept_rows: list[dict] = []  # unsuppressed findings, grid-stable order
     all_rows: list[dict] = []  # every finding (what --write-baseline records)
+    matched_keys: set[tuple[str, str, str, str]] = set()
     text: list[str] = []
     for ds_name in datasets:
         dataset = get_dataset(ds_name, config)
@@ -855,19 +907,25 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
                     )
                     continue
                 report = lint_plan(plan, spec)
+                findings = list(report.findings)
+                if args.streams > 0:
+                    # concurrency self-check: the schedule repro serve
+                    # would run (N batches of this plan, least-loaded
+                    # stream assignment) must be HB race-free
+                    findings += race_findings(
+                        serving_schedule(
+                            plan, num_streams=args.streams, batches=2
+                        )
+                    )
                 cells += 1
                 kept = []
-                for f in report.findings:
-                    row = {
-                        "plan": report.plan_label,
-                        "code": f.rule,
-                        "severity": f.severity,
-                        "op": f.op or "",
-                        "buffer": f.buffer or "",
-                        "message": f.message,
-                    }
+                for f, row in zip(
+                    findings, finding_rows(report.plan_label, findings)
+                ):
                     all_rows.append(row)
-                    if (report.plan_label, *f.key()) in baseline_keys:
+                    key = (report.plan_label, *f.key())
+                    if key in baseline_keys:
+                        matched_keys.add(key)
                         suppressed += 1
                         continue
                     kept.append(f)
@@ -880,6 +938,27 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
                         plan_label=report.plan_label, findings=tuple(kept)
                     ).render()
                 )
+    stale_keys = baseline_keys - matched_keys
+    if args.prune_baseline and args.baseline:
+        live = [
+            entry
+            for entry in baseline_entries
+            if (
+                entry.get("plan", ""),
+                entry.get("code", ""),
+                entry.get("op", ""),
+                entry.get("buffer", ""),
+            )
+            in matched_keys
+        ]
+        with open(args.baseline, "w") as fh:
+            json.dump({"version": 1, "findings": live}, fh, indent=2)
+            fh.write("\n")
+        if not args.as_json:
+            text.append(
+                f"pruned {len(baseline_entries) - len(live)} stale "
+                f"suppression(s) from {args.baseline}"
+            )
     if args.write_baseline:
         baseline = {
             "version": 1,
@@ -908,6 +987,11 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
         )
         if args.baseline:
             summary += f", {suppressed} suppressed by baseline"
+            if stale_keys:
+                summary += (
+                    f", {len(stale_keys)} stale suppression(s)"
+                    + ("" if args.prune_baseline else " (--prune-baseline)")
+                )
         print(summary, file=out)
     if args.strict:
         # a baseline promotes strict mode to "no new findings at all":

@@ -173,6 +173,23 @@ class DGLSystem(GNNSystem):
 
         ops: list[KernelOp] = []
 
+        # Buffer shapes, accumulated structurally as the stage plan is
+        # walked: standard inputs come from the workload, each stage's
+        # output extent from its item space ("n" / "e" / "nf") — the
+        # declarations the whole-plan shape interpreter (SHAPE001-004)
+        # verifies and the liveness analysis sizes the footprint with.
+        buf_shapes: dict[str, tuple[int, int]] = {
+            "feat": (n, Fdim),
+            "indptr": (n + 1, 1),
+            "indices": (E, 1),
+            "edge_vals": (E, 1),
+            "att": (n, 2),
+        }
+
+        def shapes_for(rb, wb):
+            names = set(rb) | {wb}
+            return {b: buf_shapes[b] for b in names if b in buf_shapes}
+
         def ew(name, items, *, reads=2.0, writes=1.0, gather=None,
                rb=(), wb="tmp:x", gb=()):
             # rb/wb: the named buffers of the effect table — the dataflow
@@ -200,7 +217,8 @@ class DGLSystem(GNNSystem):
                                 for b in rb
                             ]
                             + [access.lane_stream(wb, role="write", row="flat")]
-                        )
+                        ),
+                        shapes=shapes_for(rb, wb),
                     ),
                 )
             )
@@ -228,7 +246,8 @@ class DGLSystem(GNNSystem):
                         access.lane_stream(rb[1], row="flat"),
                         access.gather(rb[2], via=rb[0]),
                         access.scatter(wb, via=rb[0], trips=("feat_rounds",)),
-                    )
+                    ),
+                    shapes=shapes_for(rb, wb),
                 )
             else:
                 # rb = (indptr, indices, dense features[, edge scalars]):
@@ -249,7 +268,9 @@ class DGLSystem(GNNSystem):
                 pats.append(
                     access.lane_stream(wb, role="write", trips=("feat_rounds",))
                 )
-                acc = KernelAccess(patterns=tuple(pats))
+                acc = KernelAccess(
+                    patterns=tuple(pats), shapes=shapes_for(rb, wb)
+                )
             ops.append(
                 KernelOp(
                     name="spmm_coo_atomic" if coo_atomic else "spmm",
@@ -275,8 +296,26 @@ class DGLSystem(GNNSystem):
                 return n / max(E, 1)
             return v
 
+        def glue_out_shape(stage):
+            # the structural shape rule: a "seg" write lands one value per
+            # destination segment, an item-space write one row per item
+            # ("nf" launches are (n, F) feature maps), and a multi-column
+            # write (coo2csr's edge pairs) widens the row
+            if stage.writes == "seg":
+                return (n, 1)
+            if stage.items == "nf":
+                return (n, Fdim)
+            rows = items_of[stage.items] if stage.items != "nf" else n
+            cols = (
+                max(1, int(stage.writes))
+                if isinstance(stage.writes, (int, float))
+                else 1
+            )
+            return (int(rows), cols)
+
         for stage in dgl_stage_plan(mp_model):
             if isinstance(stage, SpmmStage):
+                buf_shapes[stage.wb] = (n, Fdim)
                 spmm(
                     weighted=stage.weighted,
                     coo_atomic=stage.coo_atomic,
@@ -284,6 +323,7 @@ class DGLSystem(GNNSystem):
                     wb=stage.wb,
                 )
             else:
+                buf_shapes[stage.wb] = glue_out_shape(stage)
                 ew(
                     stage.name,
                     items_of[stage.items],

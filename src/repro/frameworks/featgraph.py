@@ -154,7 +154,11 @@ class FeatGraphSystem(GNNSystem):
                         lane_stream("out", row="flat"),
                         lane_stream("feat", row="flat"),
                         lane_stream("out", role="write", row="flat"),
-                    )
+                    ),
+                    shapes={
+                        "out": (graph.num_vertices, X.shape[1]),
+                        "feat": (graph.num_vertices, X.shape[1]),
+                    },
                 ),
             ),
         ]

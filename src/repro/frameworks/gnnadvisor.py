@@ -113,7 +113,11 @@ class GNNAdvisorSystem(GNNSystem):
                         lane_stream("out", row="flat"),
                         lane_stream("feat", row="flat"),
                         lane_stream("out", role="write", row="flat"),
-                    )
+                    ),
+                    shapes={
+                        "out": (graph.num_vertices, X.shape[1]),
+                        "feat": (graph.num_vertices, X.shape[1]),
+                    },
                 ),
             ),
         ]

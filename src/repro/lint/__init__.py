@@ -17,6 +17,14 @@ the declarative effect tables every kernel op carries:
   (RES001-RES004 errors, RES005 low-occupancy warning),
 * :mod:`~repro.lint.determinism` — atomic float reductions and rng reads
   as order-nondeterminism warnings (DET001/DET002),
+* :mod:`~repro.lint.dataflow` — whole-plan shape/dtype abstract
+  interpretation (SHAPE001-SHAPE004, errors) and liveness / peak-HBM
+  bounds (LIVE001 error, LIVE002 warning), with the ``dead_transients``
+  liveness export the optimizer's dead-intermediate elimination proves
+  its legality with,
+* :mod:`~repro.lint.sched` — cross-stream happens-before race detection
+  over serving schedules (RACE001/RACE002 errors, RACE003 warning) plus
+  the seeded vector-clock replay that pins the static verdicts,
 * :mod:`~repro.lint.registry` — the one finding-code table (code →
   severity, summary, doc anchor) every analysis constructs through,
 * :mod:`~repro.lint.report` — severity-ranked findings and rendering.
@@ -27,6 +35,8 @@ Entry points: :func:`lint_plan` (used by ``python -m repro lint`` and the
 Nothing in this package imports :mod:`repro.plan` — the plan IR imports
 the effect vocabulary from here, and ``lint_plan`` duck-types its plan.
 """
+
+from typing import Any
 
 from ..gpusim.config import V100, GPUSpec
 from .access import (
@@ -39,6 +49,19 @@ from .access import (
     cross_validate_access,
     op_sector_class,
     sector_class,
+)
+from .dataflow import (
+    BufferView,
+    FootprintReport,
+    LiveRange,
+    PlanSymbols,
+    dead_transients,
+    infer_buffer_shapes,
+    live_ranges,
+    liveness_findings,
+    peak_footprint,
+    plan_symbols,
+    shape_findings,
 )
 from .determinism import determinism_findings
 from .effects import (
@@ -57,10 +80,23 @@ from .report import (
     Finding,
     LintReport,
     PlanLintError,
+    finding_rows,
     severity_rank,
     sort_findings,
 )
 from .resources import resource_findings
+from .sched import (
+    ScheduledPlan,
+    StreamSchedule,
+    VectorClockChecker,
+    cross_validate_races,
+    default_shared,
+    lint_schedule,
+    race_findings,
+    replay_schedule,
+    serving_schedule,
+    static_race_keys,
+)
 
 __all__ = [
     "COALESCED_SPR_MAX",
@@ -69,11 +105,18 @@ __all__ = [
     "AccessPattern",
     "Affine",
     "BufferEffect",
+    "BufferView",
+    "FootprintReport",
     "KernelAccess",
     "KernelEffects",
     "LaunchEnvelope",
+    "LiveRange",
+    "PlanSymbols",
     "RuleInfo",
+    "ScheduledPlan",
+    "StreamSchedule",
     "TRANSIENT_PREFIX",
+    "VectorClockChecker",
     "Finding",
     "LintReport",
     "PlanLintError",
@@ -81,27 +124,48 @@ __all__ = [
     "conv_read_buffers",
     "cross_validate_access",
     "cross_validate_effects",
+    "cross_validate_races",
+    "dead_transients",
+    "default_shared",
     "determinism_findings",
     "effect_table",
     "explain",
+    "finding_rows",
     "hazard_findings",
+    "infer_buffer_shapes",
     "is_transient",
     "lint_plan",
+    "lint_schedule",
+    "live_ranges",
+    "liveness_findings",
     "make_finding",
     "op_sector_class",
+    "peak_footprint",
+    "plan_symbols",
+    "race_findings",
+    "replay_schedule",
     "resource_findings",
     "rule_info",
     "sector_class",
+    "serving_schedule",
     "severity_rank",
+    "shape_findings",
     "sort_findings",
+    "static_race_keys",
 ]
 
 
-def lint_plan(plan, spec: GPUSpec = V100) -> LintReport:
-    """Run all four analyses over one lowered plan."""
+def lint_plan(plan: Any, spec: GPUSpec = V100) -> LintReport:
+    """Run all six per-plan analyses over one lowered plan.
+
+    (Cross-stream race detection needs a :class:`StreamSchedule`, not a
+    single plan — see :func:`lint_schedule` / ``serve --lint``.)
+    """
     findings = hazard_findings(plan)
     findings += resource_findings(plan, spec)
     findings += determinism_findings(plan)
     findings += access_findings(plan)
+    findings += shape_findings(plan)
+    findings += liveness_findings(plan, spec)
     label = f"{plan.system}/{plan.model} on {plan.graph_name}"
     return LintReport(plan_label=label, findings=tuple(sort_findings(findings)))

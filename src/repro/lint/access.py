@@ -43,6 +43,7 @@ exactly like the sibling analyses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..gpusim.config import V100, GPUSpec
 from ..gpusim.microsim import MicroSim
@@ -265,7 +266,7 @@ def scatter(
     )
 
 
-def conv_shapes(workload) -> dict[str, tuple[int, int]]:
+def conv_shapes(workload: Any) -> dict[str, tuple[int, int]]:
     """Element shapes of the standard convolution buffers for ``workload``."""
     g = workload.graph
     n, e, f = g.num_vertices, g.num_edges, workload.feat_dim
@@ -283,7 +284,7 @@ def conv_shapes(workload) -> dict[str, tuple[int, int]]:
 
 
 def conv_access(
-    workload,
+    workload: Any,
     *patterns: AccessPattern,
     extra_shapes: dict[str, tuple[int, int]] | None = None,
 ) -> KernelAccess:
@@ -489,7 +490,7 @@ def _pattern_findings(access: KernelAccess, op_name: str) -> list[Finding]:
     return findings
 
 
-def access_findings(plan) -> list[Finding]:
+def access_findings(plan: Any) -> list[Finding]:
     """ACC/DIV/OOB findings of one lowered plan (duck-typed like hazards)."""
     findings: list[Finding] = []
     for op in plan.ops:
@@ -553,7 +554,7 @@ def _check_bucket(
     return []
 
 
-def cross_validate_access(kernel, workload, spec: GPUSpec = V100) -> list[str]:
+def cross_validate_access(kernel: Any, workload: Any, spec: GPUSpec = V100) -> list[str]:
     """Pin a kernel's static sector class to its two measured models.
 
     Returns human-readable disagreements (empty = the declaration, the

@@ -1,0 +1,502 @@
+"""Whole-plan dataflow verification: shapes, dtypes, liveness, footprint.
+
+The per-op analyses (hazards, resources, access) check each launch in
+isolation; this module checks the plan as a *program*.  Two analyses:
+
+* a **shape/dtype abstract interpreter** — every buffer's element shape
+  is resolved symbolically (in terms of the workload sizes ``n`` vertices,
+  ``m`` edges, ``f`` feature dims) from the declared access tables, the
+  flat-access spans, and the standard convolution vocabulary, then walked
+  forward over the op list:
+
+  - **SHAPE001** (error) — a producer and a later consumer disagree on a
+    buffer's inferred element count (an ill-formed user spec that passed
+    ``MessageSpec.validate()`` but lowered inconsistently),
+  - **SHAPE002** (error) — a dtype conflict between a write and a later
+    access (a narrower write silently truncates; a wider read
+    misinterprets),
+  - **SHAPE003** (error) — an under-allocated transient: a consumer's
+    extent exceeds what the producing launch materialized,
+  - **SHAPE004** (error) — a plan I/O contract violation: a *standard*
+    buffer (``out``, ``feat``, ``indptr``, ``indices``, ``edge_vals``,
+    ``att``) is declared with a shape that contradicts the workload.
+
+* a **liveness / peak-memory analysis** — per-buffer live ranges over the
+  launch order, and the peak resident footprint (bytes, with a symbolic
+  rendering) checked against the device's HBM capacity:
+
+  - **LIVE001** (error) — the peak footprint exceeds ``GPUSpec.dram_bytes``
+    (the plan cannot be resident; the GNNAdvisor-style capacity failures
+    of Table 5 become a static verdict),
+  - **LIVE002** (warning) — the peak is above 80% of HBM (allocator
+    headroom is gone; fragmentation or a second resident plan kills it).
+
+:func:`live_ranges` / :func:`dead_transients` are exported to the
+optimizer: :class:`~repro.opt.rewrites.DeadIntermediateElimination`
+proves its legality with this liveness instead of an ad-hoc unread-
+``tmp:*`` scan.
+
+Like every lint module, nothing here imports :mod:`repro.plan` — the
+plan argument is duck-typed (``.ops`` with ``.name``/``.effects``/
+``.access``/``.workload``, ``.compute.workload``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..gpusim.config import V100, GPUSpec
+from .effects import is_transient
+from .registry import make_finding
+from .report import Finding
+
+__all__ = [
+    "DTYPE_BYTES",
+    "HBM_WARN_FRACTION",
+    "BufferView",
+    "FootprintReport",
+    "LiveRange",
+    "PlanSymbols",
+    "dead_transients",
+    "infer_buffer_shapes",
+    "live_ranges",
+    "liveness_findings",
+    "peak_footprint",
+    "plan_symbols",
+    "shape_findings",
+]
+
+#: element width of every dtype the effect tables may declare
+DTYPE_BYTES = {
+    "f64": 8, "i64": 8, "u64": 8,
+    "f32": 4, "i32": 4, "u32": 4,
+    "f16": 2, "bf16": 2, "i16": 2, "u16": 2,
+    "i8": 1, "u8": 1, "bool": 1,
+}
+
+#: LIVE002 fires above this fraction of the device's HBM
+HBM_WARN_FRACTION = 0.8
+
+
+def _dtype_bytes(dtype: str) -> int:
+    """Element width of ``dtype`` (unknown dtypes default to 4 bytes)."""
+    return DTYPE_BYTES.get(dtype, 4)
+
+
+# ----------------------------------------------------------------------
+# the symbol table: workload sizes every shape is expressed in
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanSymbols:
+    """The workload sizes (``n``, ``m``, ``f``) shapes are resolved against."""
+
+    n: int  # vertices
+    m: int  # edges
+    f: int  # feature dims
+
+    def render(self, elements: int) -> str:
+        """Symbolic rendering of an element count (falls back to digits)."""
+        named = [
+            (self.n * self.f, "n*f"),
+            (2 * self.m, "2m"),
+            (self.m, "m"),
+            (2 * self.n, "2n"),
+            (self.n + 1, "n+1"),
+            (self.n, "n"),
+            (self.f, "f"),
+        ]
+        for value, name in named:
+            if elements == value and value > 1:
+                return name
+        return str(elements)
+
+
+def plan_symbols(plan: Any) -> PlanSymbols | None:
+    """Extract the (n, m, f) symbol table from a duck-typed plan.
+
+    The compute step's workload is authoritative (every lowering carries
+    one); conv ops are consulted as a fallback for hand-built plans.
+    """
+    candidates = [getattr(getattr(plan, "compute", None), "workload", None)]
+    candidates += [getattr(op, "workload", None) for op in plan.ops]
+    for wl in candidates:
+        graph = getattr(wl, "graph", None)
+        if graph is None:
+            continue
+        return PlanSymbols(
+            n=int(graph.num_vertices),
+            m=int(graph.num_edges),
+            f=int(getattr(wl, "feat_dim", 1)),
+        )
+    return None
+
+
+def _contract_shapes(sym: PlanSymbols) -> dict[str, tuple[int, int]]:
+    """The standard-buffer shapes the workload implies (SHAPE004's table)."""
+    return {
+        "out": (sym.n, sym.f),
+        "feat": (sym.n, sym.f),
+        "indptr": (sym.n + 1, 1),
+        "indices": (sym.m, 1),
+        "edge_vals": (sym.m, 1),
+        "att": (sym.n, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# per-op buffer views (the abstract state the interpreter walks)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BufferView:
+    """One op's resolved view of one buffer."""
+
+    buffer: str
+    op: str
+    mode: str  # "read" | "write" | "atomic"
+    dtype: str
+    shape: tuple[int, int] | None  # None = statically unknown extent
+
+    @property
+    def elements(self) -> int | None:
+        if self.shape is None:
+            return None
+        return self.shape[0] * self.shape[1]
+
+
+def _resolve_shape(
+    op: Any, buffer: str, sym: PlanSymbols | None
+) -> tuple[int, int] | None:
+    """One op's declared extent of ``buffer``: access shapes first, then
+    the widest flat-access span, then the standard vocabulary."""
+    access = getattr(op, "access", None)
+    if access is not None:
+        shape = access.shapes.get(buffer)
+        if shape is not None:
+            return (int(shape[0]), int(shape[1]))
+        spans = [
+            p.span
+            for p in access.patterns
+            if p.buffer == buffer and p.row == "flat" and p.span is not None
+        ]
+        if spans:
+            return (int(max(spans)), 1)
+    if sym is not None and not is_transient(buffer):
+        return _contract_shapes(sym).get(buffer)
+    return None
+
+
+def infer_buffer_shapes(plan: Any) -> list[BufferView]:
+    """Every op's resolved (buffer, mode, dtype, shape) view, in launch
+    order — the event stream both dataflow analyses interpret."""
+    sym = plan_symbols(plan)
+    views: list[BufferView] = []
+    for op in plan.ops:
+        eff = getattr(op, "effects", None)
+        if eff is None:
+            continue
+        for b in eff.buffers:
+            views.append(
+                BufferView(
+                    buffer=b.buffer,
+                    op=op.name,
+                    mode=b.mode,
+                    dtype=b.dtype,
+                    shape=_resolve_shape(op, b.buffer, sym),
+                )
+            )
+    return views
+
+
+# ----------------------------------------------------------------------
+# the shape/dtype abstract interpreter (SHAPE001-004)
+# ----------------------------------------------------------------------
+def shape_findings(plan: Any) -> list[Finding]:
+    """Forward shape/dtype inference over one lowered plan."""
+    sym = plan_symbols(plan)
+    findings: list[Finding] = []
+
+    # SHAPE004: standard buffers must match the workload-derived contract
+    contract = _contract_shapes(sym) if sym is not None else {}
+    contract_flagged: set[str] = set()
+
+    #: buffer -> (elements, producing/first op, shape) established so far
+    env: dict[str, tuple[int, str, tuple[int, int]]] = {}
+    #: buffer -> (dtype, op that established it)
+    dt_env: dict[str, tuple[str, str]] = {}
+
+    for view in infer_buffer_shapes(plan):
+        b, elements = view.buffer, view.elements
+
+        # dtype interpretation: a write fixes the buffer's dtype; any
+        # later access under a different width is a silent reinterpret
+        known = dt_env.get(b)
+        if known is not None and known[0] != view.dtype:
+            old_w, new_w = _dtype_bytes(known[0]), _dtype_bytes(view.dtype)
+            if new_w != old_w or known[0] != view.dtype:
+                kind = "narrowing" if new_w < old_w else "conflicting"
+                findings.append(
+                    make_finding(
+                        "SHAPE002",
+                        f"{kind} dtype on '{b}': '{known[1]}' established "
+                        f"{known[0]} ({old_w} B) but this op {view.mode}s it "
+                        f"as {view.dtype} ({new_w} B)",
+                        op=view.op,
+                        buffer=b,
+                    )
+                )
+        if view.mode in ("write", "atomic") and known is None:
+            dt_env[b] = (view.dtype, view.op)
+
+        if elements is None:
+            continue
+
+        if b in contract and b not in contract_flagged:
+            want = contract[b]
+            if elements != want[0] * want[1]:
+                contract_flagged.add(b)
+                findings.append(
+                    make_finding(
+                        "SHAPE004",
+                        f"standard buffer '{b}' declared as "
+                        f"{view.shape[0]}x{view.shape[1]} but the workload "
+                        f"implies {want[0]}x{want[1]} "
+                        f"({sym.render(want[0] * want[1])} elements)"
+                        if view.shape is not None and sym is not None
+                        else f"standard buffer '{b}' contradicts the workload",
+                        op=view.op,
+                        buffer=b,
+                    )
+                )
+                continue  # the contract mismatch subsumes pairwise checks
+
+        prior = env.get(b)
+        if prior is None:
+            env[b] = (elements, view.op, view.shape or (elements, 1))
+            continue
+        prior_elements, prior_op, _prior_shape = prior
+        if elements == prior_elements:
+            continue
+        rendered = (
+            f"{sym.render(prior_elements)} vs {sym.render(elements)}"
+            if sym is not None
+            else f"{prior_elements} vs {elements}"
+        )
+        if (
+            is_transient(b)
+            and view.mode == "read"
+            and elements > prior_elements
+        ):
+            findings.append(
+                make_finding(
+                    "SHAPE003",
+                    f"under-allocated transient '{b}': '{prior_op}' "
+                    f"materialized {sym.render(prior_elements) if sym else prior_elements} "
+                    f"element(s) but this op reads "
+                    f"{sym.render(elements) if sym else elements}",
+                    op=view.op,
+                    buffer=b,
+                )
+            )
+        else:
+            findings.append(
+                make_finding(
+                    "SHAPE001",
+                    f"shape disagreement on '{b}': '{prior_op}' declared "
+                    f"{rendered} elements",
+                    op=view.op,
+                    buffer=b,
+                )
+            )
+        # keep the larger extent so one bad op does not cascade
+        if elements > prior_elements:
+            env[b] = (elements, view.op, view.shape or (elements, 1))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# liveness and the peak-footprint bound (LIVE001/LIVE002)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LiveRange:
+    """One buffer's lifetime over the plan's op list."""
+
+    buffer: str
+    first: int  # op index of the first access (def for transients)
+    last: int  # op index of the last access
+    bytes: int  # allocation size (0 = statically unknown)
+    pinned: bool  # plan input/output: resident for the whole plan
+
+    def live_at(self, op_index: int) -> bool:
+        if self.pinned:
+            return True
+        return self.first <= op_index <= self.last
+
+
+def _collect_readers(plan: Any) -> set[str]:
+    """Every buffer some op consumes: effect reads/atomics, access read
+    patterns, and index buffers backing an indirection."""
+    read: set[str] = set()
+    for op in plan.ops:
+        eff = getattr(op, "effects", None)
+        if eff is not None:
+            read.update(eff.reads)
+            read.update(eff.atomics)  # RMW also consumes
+        access = getattr(op, "access", None)
+        if access is not None:
+            for pat in access.patterns:
+                if pat.role == "read":
+                    read.add(pat.buffer)
+                via = getattr(pat, "via", None)
+                if via:
+                    read.add(via)
+    return read
+
+
+def dead_transients(plan: Any) -> frozenset[str]:
+    """Transients some op writes but nothing ever reads.
+
+    This is the liveness fact :class:`~repro.opt.rewrites.
+    DeadIntermediateElimination` needs: a transient whose live range
+    ends at its own definition has no consumer, so the launch that
+    materializes it (and nothing else) is removable.
+    """
+    read = _collect_readers(plan)
+    written: set[str] = set()
+    for op in plan.ops:
+        eff = getattr(op, "effects", None)
+        if eff is None:
+            continue
+        written.update(eff.writes)
+        written.update(eff.atomics)
+    return frozenset(
+        b for b in written if is_transient(b) and b not in read
+    )
+
+
+def live_ranges(plan: Any) -> list[LiveRange]:
+    """Per-buffer live ranges over the plan's op list.
+
+    Plan inputs (non-transient reads never produced by the plan) and the
+    plan output(s) are *pinned* — resident for the whole plan.  A
+    transient is live from the op that materializes it through its last
+    consumer (its def alone when nothing reads it).
+    """
+    sym = plan_symbols(plan)
+    first: dict[str, int] = {}
+    last: dict[str, int] = {}
+    produced: set[str] = set()
+    sizes: dict[str, int] = {}
+    dtypes: dict[str, str] = {}
+    for i, op in enumerate(plan.ops):
+        eff = getattr(op, "effects", None)
+        if eff is None:
+            continue
+        for b in eff.buffers:
+            first.setdefault(b.buffer, i)
+            last[b.buffer] = i
+            if b.mode in ("write", "atomic"):
+                produced.add(b.buffer)
+            shape = _resolve_shape(op, b.buffer, sym)
+            if shape is not None:
+                elements = shape[0] * shape[1]
+                sizes[b.buffer] = max(sizes.get(b.buffer, 0), elements)
+            dtypes.setdefault(b.buffer, b.dtype)
+    ranges = []
+    for b in first:
+        pinned = not is_transient(b) and (b not in produced or b == "out")
+        ranges.append(
+            LiveRange(
+                buffer=b,
+                first=first[b],
+                last=last[b],
+                bytes=sizes.get(b, 0) * _dtype_bytes(dtypes.get(b, "f32")),
+                pinned=pinned,
+            )
+        )
+    return sorted(ranges, key=lambda r: (r.first, r.buffer))
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """The plan's peak resident footprint and where it occurs."""
+
+    peak_bytes: int
+    peak_op_index: int
+    peak_op: str
+    #: buffers live at the peak, largest first: (name, bytes)
+    resident: tuple[tuple[str, int], ...]
+    #: symbolic rendering of the peak ("(n*f + m + n+1)*4B" style)
+    expression: str
+
+    def render(self) -> str:
+        mib = self.peak_bytes / (1024 * 1024)
+        return (
+            f"peak footprint {mib:.1f} MiB = {self.expression} "
+            f"at op [{self.peak_op_index}] {self.peak_op}"
+        )
+
+
+def peak_footprint(plan: Any) -> FootprintReport:
+    """Peak sum of live-buffer bytes over the plan's launch order."""
+    ranges = live_ranges(plan)
+    sym = plan_symbols(plan)
+    num_ops = max(len(plan.ops), 1)
+    peak, peak_i = 0, 0
+    for i in range(num_ops):
+        total = sum(r.bytes for r in ranges if r.live_at(i))
+        if total > peak:
+            peak, peak_i = total, i
+    resident = sorted(
+        ((r.buffer, r.bytes) for r in ranges if r.live_at(peak_i) and r.bytes),
+        key=lambda item: (-item[1], item[0]),
+    )
+    terms = []
+    for name, nbytes in resident:
+        width = 4
+        elements = nbytes // width if nbytes % width == 0 else nbytes
+        terms.append(
+            f"{sym.render(elements)}" if sym is not None else str(elements)
+        )
+    expression = (
+        "(" + " + ".join(terms) + ")*4B" if terms else "0B"
+    )
+    op_name = (
+        plan.ops[peak_i].name if plan.ops else "<empty>"
+    )
+    return FootprintReport(
+        peak_bytes=peak,
+        peak_op_index=peak_i,
+        peak_op=op_name,
+        resident=tuple(resident),
+        expression=expression,
+    )
+
+
+def liveness_findings(plan: Any, spec: GPUSpec = V100) -> list[Finding]:
+    """LIVE001/LIVE002: the symbolic peak footprint vs HBM capacity."""
+    report = peak_footprint(plan)
+    if report.peak_bytes <= 0:
+        return []
+    cap = int(spec.dram_bytes)
+    if report.peak_bytes > cap:
+        return [
+            make_finding(
+                "LIVE001",
+                f"{report.render()} exceeds the device's "
+                f"{cap / (1024 ** 3):.1f} GiB HBM — the plan cannot be "
+                "resident",
+                op=report.peak_op,
+            )
+        ]
+    if report.peak_bytes > cap * HBM_WARN_FRACTION:
+        return [
+            make_finding(
+                "LIVE002",
+                f"{report.render()} is {report.peak_bytes / cap:.0%} of the "
+                f"device's {cap / (1024 ** 3):.1f} GiB HBM — allocator "
+                "headroom is gone",
+                op=report.peak_op,
+            )
+        ]
+    return []

@@ -16,13 +16,15 @@ arrival order, which varies run to run — same math, different rounding.
 
 from __future__ import annotations
 
+from typing import Any
+
 from .registry import make_finding
 from .report import Finding
 
 __all__ = ["determinism_findings"]
 
 
-def determinism_findings(plan) -> list[Finding]:
+def determinism_findings(plan: Any) -> list[Finding]:
     """Order-nondeterminism warnings for one lowered plan."""
     findings: list[Finding] = []
     for op in plan.ops:

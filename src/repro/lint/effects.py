@@ -28,6 +28,7 @@ type its ``effects`` field); everything here depends only on ``gpusim``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..gpusim.config import V100, GPUSpec
 from ..gpusim.microsim import MicroSim
@@ -172,7 +173,7 @@ def effect_table(
     )
 
 
-def conv_read_buffers(workload, *, indptr: bool = True) -> tuple[str, ...]:
+def conv_read_buffers(workload: Any, *, indptr: bool = True) -> tuple[str, ...]:
     """Standard input buffers a convolution kernel reads for ``workload``."""
     reads = ["indptr", "indices", "feat"] if indptr else ["indices", "feat"]
     if workload.attention is not None:
@@ -185,7 +186,7 @@ def conv_read_buffers(workload, *, indptr: bool = True) -> tuple[str, ...]:
 # ----------------------------------------------------------------------
 # cross-validation against the counter model and the micro-simulator
 # ----------------------------------------------------------------------
-def cross_validate_effects(kernel, workload, spec: GPUSpec = V100) -> list[str]:
+def cross_validate_effects(kernel: Any, workload: Any, spec: GPUSpec = V100) -> list[str]:
     """Check a ConvKernel's declared effects against its two models.
 
     Returns a list of human-readable mismatches (empty = the declaration is

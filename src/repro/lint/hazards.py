@@ -22,6 +22,8 @@ The plan argument is duck-typed (``.ops`` with ``.name``/``.effects``,
 
 from __future__ import annotations
 
+from typing import Any
+
 from .effects import is_transient
 from .registry import make_finding
 from .report import Finding
@@ -29,7 +31,7 @@ from .report import Finding
 __all__ = ["hazard_findings"]
 
 
-def hazard_findings(plan) -> list[Finding]:
+def hazard_findings(plan: Any) -> list[Finding]:
     """Def-use and cache-safety hazards of one lowered plan."""
     findings: list[Finding] = []
     defined: set[str] = set()  # transients materialized by earlier ops

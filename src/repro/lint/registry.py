@@ -127,6 +127,54 @@ RULES: dict[str, RuleInfo] = _rules(
         "symbolic index range exceeds the declared buffer shape",
         "access-patterns-accdivoob",
     ),
+    # -- whole-plan dataflow (shape/dtype inference) --------------------
+    RuleInfo(
+        "SHAPE001", "error",
+        "producer and consumer disagree on a buffer's inferred shape",
+        "dataflow-shapelive",
+    ),
+    RuleInfo(
+        "SHAPE002", "error",
+        "dtype-conflicting write/read: a narrower dtype silently truncates",
+        "dataflow-shapelive",
+    ),
+    RuleInfo(
+        "SHAPE003", "error",
+        "under-allocated transient: a consumer reads past the producer's extent",
+        "dataflow-shapelive",
+    ),
+    RuleInfo(
+        "SHAPE004", "error",
+        "plan I/O contract violation: a standard buffer's shape contradicts the workload",
+        "dataflow-shapelive",
+    ),
+    # -- liveness / peak device memory ----------------------------------
+    RuleInfo(
+        "LIVE001", "error",
+        "peak live footprint exceeds the device's HBM capacity",
+        "dataflow-shapelive",
+    ),
+    RuleInfo(
+        "LIVE002", "warning",
+        "peak live footprint above 80% of HBM — allocator headroom is gone",
+        "dataflow-shapelive",
+    ),
+    # -- cross-stream happens-before races ------------------------------
+    RuleInfo(
+        "RACE001", "error",
+        "unordered cross-stream write-write on a shared buffer",
+        "cross-stream-races-race",
+    ),
+    RuleInfo(
+        "RACE002", "error",
+        "unordered cross-stream read-write on a shared buffer",
+        "cross-stream-races-race",
+    ),
+    RuleInfo(
+        "RACE003", "warning",
+        "cross-stream atomic-atomic merge — safe but order-nondeterministic",
+        "cross-stream-races-race",
+    ),
 )
 
 

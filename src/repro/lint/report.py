@@ -6,6 +6,7 @@ Kept free of sibling imports (the analyses import *us*) and free of
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 __all__ = [
@@ -13,6 +14,7 @@ __all__ = [
     "Finding",
     "LintReport",
     "PlanLintError",
+    "finding_rows",
     "severity_rank",
     "sort_findings",
 ]
@@ -52,12 +54,32 @@ class Finding:
         return (self.rule, self.op or "", self.buffer or "")
 
 
-def sort_findings(findings) -> list[Finding]:
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
     """Severity-ranked, then stable by rule id, op, and buffer name."""
     return sorted(
         findings,
         key=lambda f: (severity_rank(f.severity), f.rule, f.op or "", f.buffer or ""),
     )
+
+
+def finding_rows(plan_label: str, findings: Iterable[Finding]) -> list[dict[str, str]]:
+    """The stable JSON row encoding of findings (``repro lint --json``).
+
+    One dict per finding with exactly the fields plan / code / severity /
+    op / buffer / message — the contract the baseline files and the
+    registry round-trip test are written against.
+    """
+    return [
+        {
+            "plan": plan_label,
+            "code": f.rule,
+            "severity": f.severity,
+            "op": f.op or "",
+            "buffer": f.buffer or "",
+            "message": f.message,
+        }
+        for f in findings
+    ]
 
 
 @dataclass(frozen=True)

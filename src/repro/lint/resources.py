@@ -17,6 +17,8 @@ structural checks here run first).
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..gpusim.config import GPUSpec
 from ..gpusim.occupancy import envelope_occupancy
 from .registry import make_finding
@@ -28,7 +30,7 @@ __all__ = ["resource_findings", "LOW_OCCUPANCY_THRESHOLD"]
 LOW_OCCUPANCY_THRESHOLD = 0.25
 
 
-def resource_findings(plan, spec: GPUSpec) -> list[Finding]:
+def resource_findings(plan: Any, spec: GPUSpec) -> list[Finding]:
     """Structural and occupancy checks of every declared launch envelope."""
     findings: list[Finding] = []
     for op in plan.ops:

@@ -29,6 +29,7 @@ by every framework that materializes attention in three launches.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -42,7 +43,12 @@ from ..lint.access import (
     lane_stream,
     scatter,
 )
-from ..lint.effects import LaunchEnvelope, conv_read_buffers, effect_table
+from ..lint.effects import (
+    KernelEffects,
+    LaunchEnvelope,
+    conv_read_buffers,
+    effect_table,
+)
 
 __all__ = [
     "KernelMapping",
@@ -96,7 +102,7 @@ class KernelMapping:
         """Whether distinct units may collide on output rows."""
         return self.unit in ("source_push", "edge_chunk", "neighbor_group")
 
-    def atomic_ops(self, workload) -> int:
+    def atomic_ops(self, workload: Any) -> int:
         """Element-level RMW count of the mapping (0 for owner-computes)."""
         g = workload.graph
         if self.unit in ("source_push", "edge_chunk"):
@@ -113,7 +119,12 @@ class KernelMapping:
 # ----------------------------------------------------------------------
 # effects
 # ----------------------------------------------------------------------
-def derive_effects(mapping: KernelMapping, workload, *, envelope=None):
+def derive_effects(
+    mapping: KernelMapping,
+    workload: Any,
+    *,
+    envelope: LaunchEnvelope | None = None,
+) -> KernelEffects:
     """The effect table of ``mapping`` applied to ``workload``.
 
     Reads follow from the UDF terms (:func:`conv_read_buffers` — the
@@ -149,7 +160,9 @@ def derive_effects(mapping: KernelMapping, workload, *, envelope=None):
 # ----------------------------------------------------------------------
 # access patterns
 # ----------------------------------------------------------------------
-def _scalar_pattern(mapping: KernelMapping, workload) -> AccessPattern | None:
+def _scalar_pattern(
+    mapping: KernelMapping, workload: Any
+) -> AccessPattern | None:
     """How the mapping fetches the per-edge scalar the scale term implies."""
     if workload.attention is not None:
         # per-vertex attention scalars gathered warp-uniformly by source id
@@ -172,7 +185,7 @@ def _scalar_pattern(mapping: KernelMapping, workload) -> AccessPattern | None:
     return broadcast("edge_vals", trips=("degree",))
 
 
-def derive_access(mapping: KernelMapping, workload) -> KernelAccess:
+def derive_access(mapping: KernelMapping, workload: Any) -> KernelAccess:
     """The per-lane access table of ``mapping`` applied to ``workload``.
 
     Per unit type this reproduces the paper's Figure 5/7 shapes: owner-
@@ -271,7 +284,7 @@ def derive_access(mapping: KernelMapping, workload) -> KernelAccess:
 # the unfused softmax staging (derived from the normalization term)
 # ----------------------------------------------------------------------
 def softmax_stage_access(
-    workload,
+    workload: Any,
     *,
     logits: str = "tmp:logits",
     alpha: str = "tmp:alpha",

@@ -150,12 +150,20 @@ def _with_kernel(plan: ExecutionPlan, idx: int, kernel) -> ExecutionPlan:
 # dead-intermediate elimination
 # ----------------------------------------------------------------------
 class DeadIntermediateElimination(PlanPass):
-    """Remove modeled ops whose only effect is writing unread transients.
+    """Remove modeled ops whose only effect is writing dead transients.
 
-    Fixpoint: removing one dead launch can orphan another's output.
+    Legality comes from the whole-plan liveness analysis
+    (:func:`repro.lint.dataflow.dead_transients`): a transient is dead
+    when its live range ends at its own definition — nothing consumes it
+    through an effect read, an atomic RMW, a read-role access pattern,
+    or as the index buffer behind an indirection.  A launch is removable
+    when every buffer it mutates is an exclusive plain write to a dead
+    transient.
+
+    Fixpoint: removing one dead launch can orphan another's output, so
+    liveness is recomputed over the shrunken plan until nothing is dead.
     Conservative by construction — an op survives if it has no effect
-    table, performs atomics, writes any non-transient buffer, or writes a
-    transient some other op reads (directly or as a gather index).
+    table, performs atomics, or writes any non-transient buffer.
     """
 
     name = "dead-intermediate-elimination"
@@ -163,21 +171,13 @@ class DeadIntermediateElimination(PlanPass):
     def apply(
         self, plan: ExecutionPlan, ctx: PassContext
     ) -> ExecutionPlan | None:
+        from ..lint.dataflow import dead_transients
+
+        current = plan
         ops = list(plan.ops)
         changed = False
         while True:
-            read: set[str] = set()
-            for op in ops:
-                if op.effects is not None:
-                    read.update(op.effects.reads)
-                    read.update(op.effects.atomics)  # RMW also consumes
-                if op.access is not None:
-                    for pat in op.access.patterns:
-                        if pat.role == "read":
-                            read.add(pat.buffer)
-                        via = getattr(pat, "via", None)
-                        if via:
-                            read.add(via)
+            dead_bufs = dead_transients(current)
             dead = None
             for i, op in enumerate(ops):
                 if op.kind != "modeled" or op.effects is None:
@@ -190,7 +190,7 @@ class DeadIntermediateElimination(PlanPass):
                 if all(
                     b.mode == "write"
                     and is_transient(b.buffer)
-                    and b.buffer not in read
+                    and b.buffer in dead_bufs
                     for b in written
                 ):
                     dead = i
@@ -199,6 +199,7 @@ class DeadIntermediateElimination(PlanPass):
                 break
             del ops[dead]
             changed = True
+            current = replace(current, ops=list(ops))
         if not changed:
             return None
         return replace(plan, ops=ops)

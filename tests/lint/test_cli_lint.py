@@ -179,3 +179,80 @@ def test_lint_explain_unknown_code():
     rc, text = _run(["lint", "--explain", "XYZ999"])
     assert rc == 2
     assert "unknown finding code" in text
+
+
+def test_lint_explain_typo_suggests_nearest_code():
+    rc, text = _run(["lint", "--explain", "SHAPE01"])
+    assert rc == 2
+    assert "did you mean SHAPE001?" in text
+
+
+def test_lint_explain_new_race_code():
+    rc, text = _run(["lint", "--explain", "race001"])
+    assert rc == 0
+    assert text.startswith("RACE001 [error]")
+    assert "README.md#cross-stream-races-race" in text
+
+
+# ----------------------------------------------------------------------
+# stale suppressions / --prune-baseline
+# ----------------------------------------------------------------------
+def _stale_entry():
+    return {"plan": "TLPGNN/gcn on CR", "code": "DET001",
+            "op": "ghost_kernel", "buffer": "tmp:ghost"}
+
+
+def test_lint_reports_stale_suppressions(tmp_path):
+    path = tmp_path / "baseline.json"
+    rc, _ = _run(["lint", "--system", "DGL", "--model", "gat",
+                  "--dataset", "CR", "--write-baseline", str(path)])
+    assert rc == 0
+    data = json.loads(path.read_text())
+    data["findings"].append(_stale_entry())
+    path.write_text(json.dumps(data))
+    rc, text = _run(["lint", "--system", "DGL", "--model", "gat",
+                     "--dataset", "CR", "--baseline", str(path)])
+    assert rc == 0
+    assert "1 stale suppression(s)" in text
+    assert "--prune-baseline" in text
+
+
+def test_lint_prune_baseline_drops_stale_entries(tmp_path):
+    path = tmp_path / "baseline.json"
+    rc, _ = _run(["lint", "--system", "DGL", "--model", "gat",
+                  "--dataset", "CR", "--write-baseline", str(path)])
+    assert rc == 0
+    before = json.loads(path.read_text())
+    data = {"version": 1,
+            "findings": [*before["findings"], _stale_entry()]}
+    path.write_text(json.dumps(data))
+    rc, text = _run(["lint", "--system", "DGL", "--model", "gat",
+                     "--dataset", "CR", "--baseline", str(path),
+                     "--prune-baseline"])
+    assert rc == 0
+    assert "pruned 1 stale suppression(s)" in text
+    after = json.loads(path.read_text())
+    assert after == before  # back to exactly the live entries
+
+
+def test_repo_baseline_has_no_stale_suppressions():
+    rc, text = _run(["lint", "--baseline", str(REPO_BASELINE)])
+    assert rc == 0
+    assert "stale suppression" not in text
+
+
+# ----------------------------------------------------------------------
+# --streams race self-check and serve --lint preflight
+# ----------------------------------------------------------------------
+def test_lint_streams_zero_disables_race_check():
+    rc, text = _run(["lint", "--streams", "0", "--system", "TLPGNN",
+                     "--model", "gcn", "--dataset", "CR", "--strict"])
+    assert rc == 0
+    assert "TLPGNN/gcn on CR: clean" in text
+
+
+def test_serve_lint_preflight_accepts_tlpgnn():
+    rc, text = _run(["serve", "--dataset", "CR", "--model", "gcn",
+                     "--lint", "--requests", "4"])
+    assert rc == 0
+    assert "serve preflight: ok" in text
