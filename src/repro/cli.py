@@ -45,9 +45,16 @@ lint                statically analyze lowered plans for hazards, resource
                     limits, nondeterminism sources, and memory-access
                     patterns (coalescing / divergence / bounds — no
                     execution); --json emits a stable finding array,
-                    --baseline suppresses known findings, --explain CODE
+                    --format sarif a SARIF 2.1.0 log, --baseline
+                    suppresses known findings, --explain CODE
                     documents one rule; --strict exits 1 on error-severity
                     findings (with --baseline: on any unsuppressed finding)
+verify              translation validation: certify that the optimizer's
+                    rewrites preserve each cell's dataflow normal form
+                    (default grid: the 24 golden cells); prints per-cell
+                    verdicts + certificate ids, explains any failure as
+                    the minimal diverging term; --json / --format sarif
+                    for machine consumption; exit 1 on any failed cell
 udf                 describe a registered message-passing UDF: the spec
                     signature, what each framework derives from its terms
                     (support decision + kernel pipeline), and the fused
@@ -189,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="preflight: statically lint the served plan and "
                     "its cross-stream schedule; refuse to serve on "
                     "error-severity findings")
+    sv.add_argument("--certified", action="store_true",
+                    help="preflight: refuse to serve unless the tuned-plan "
+                    "store holds a valid equivalence certificate for this "
+                    "cell (EQ004 on tampered/stale/missing certificates)")
+    sv.add_argument("--store", default=None, metavar="FILE",
+                    help="load the tuned-plan store from this JSON path "
+                    "for the serve (what --opt search replays and "
+                    "--certified re-verifies)")
 
     top = sub.add_parser(
         "top", help="serve with SLO monitoring and render the health "
@@ -269,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("--json", action="store_true", dest="as_json",
                     help="emit the findings as a stable JSON array "
                     "(plan/code/severity/op/buffer/message) instead of text")
+    li.add_argument("--format", choices=["text", "json", "sarif"],
+                    default=None, dest="fmt",
+                    help="output format (sarif = SARIF 2.1.0 log for CI "
+                    "code-scanning upload); --json is shorthand for "
+                    "--format json")
     li.add_argument("--baseline", default=None, metavar="FILE",
                     help="suppress findings recorded in this baseline JSON "
                     "(keyed plan/code/op/buffer); stale suppressions are "
@@ -286,6 +306,29 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("--streams", type=int, default=2,
                     help="streams for the per-cell serving race self-check "
                     "(default 2; 0 disables the check)")
+
+    vf = sub.add_parser(
+        "verify",
+        help="certify that the optimizer's rewrites preserve each cell's "
+        "dataflow normal form (translation validation)",
+    )
+    vf.add_argument("--system", choices=sorted(SYSTEMS), default=None,
+                    help="limit to one system (default: all four)")
+    vf.add_argument("--model", action="append", default=None,
+                    choices=_model_choices(),
+                    help="model(s) to certify (default: gcn and gat)")
+    vf.add_argument("--dataset", action="append", default=None,
+                    help="dataset abbreviation(s) (default: CR CS PD)")
+    vf.add_argument("--level", choices=["safe", "search"], default="search",
+                    help="optimizer level to certify (default search)")
+    vf.add_argument("--budget", type=int, default=16,
+                    help="max candidate plans a searching pass may score")
+    vf.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit per-cell certification rows as a JSON array")
+    vf.add_argument("--format", choices=["text", "json", "sarif"],
+                    default=None, dest="fmt",
+                    help="output format (sarif = SARIF 2.1.0 log of the "
+                    "EQ findings)")
 
     op = sub.add_parser(
         "opt",
@@ -591,6 +634,26 @@ def _serve_preflight(servable, spec, streams: int, out) -> int:
     return 0
 
 
+def _certified_preflight(servable, spec, out) -> int:
+    """``serve --certified``: re-verify the tuned-plan store's equivalence
+    certificate for the served cell.  Non-zero = refuse to serve."""
+    from .verify import check_tuned_certificate
+
+    check = check_tuned_certificate(
+        servable.system, servable.model, servable.data, servable.X, spec
+    )
+    print(check.render(), file=out)
+    if not check.ok:
+        print(
+            "serve --certified: REFUSED (no valid equivalence certificate "
+            "for this cell's tuned plan)",
+            file=out,
+        )
+        return 1
+    print("serve --certified: ok", file=out)
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace, out) -> int:
     import json
 
@@ -601,6 +664,16 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     from .serve import ServeConfig, serve_trace
 
     config = _config(args)
+    previous_store = None
+    if args.store:
+        from .opt import TunedPlanStore, set_tuned_store
+
+        try:
+            loaded_store = TunedPlanStore.load(args.store)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read store {args.store}: {exc}", file=out)
+            return 2
+        previous_store = set_tuned_store(loaded_store)
     # reuse an already-installed registry so repeated in-process serves
     # accumulate counters (plan_cache_hit across warm passes included);
     # "is None" rather than "or": an empty registry is falsy (len 0)
@@ -633,6 +706,10 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
             servable, spec = made
             if args.lint:
                 rc = _serve_preflight(servable, spec, streams, out)
+                if rc:
+                    return rc
+            if args.certified:
+                rc = _certified_preflight(servable, spec, out)
                 if rc:
                     return rc
             rate = args.rate or 0.5 / servable.offline_runtime_s
@@ -686,6 +763,10 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         if collector is not None:
             set_request_collector(previous_collector)
         set_registry(previous)
+        if previous_store is not None:
+            from .opt import set_tuned_store
+
+            set_tuned_store(previous_store)
 
 
 def cmd_top(args: argparse.Namespace, out) -> int:
@@ -869,6 +950,8 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
             return 2
         return 0
 
+    fmt = args.fmt or ("json" if args.as_json else "text")
+    machine = fmt != "text"
     baseline_keys: set[tuple[str, str, str, str]] = set()
     baseline_entries: list[dict] = []
     if args.baseline:
@@ -954,7 +1037,7 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
         with open(args.baseline, "w") as fh:
             json.dump({"version": 1, "findings": live}, fh, indent=2)
             fh.write("\n")
-        if not args.as_json:
+        if not machine:
             text.append(
                 f"pruned {len(baseline_entries) - len(live)} stale "
                 f"suppression(s) from {args.baseline}"
@@ -970,14 +1053,18 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
         with open(args.write_baseline, "w") as fh:
             json.dump(baseline, fh, indent=2)
             fh.write("\n")
-        if not args.as_json:
+        if not machine:
             text.append(
                 f"wrote {len(baseline['findings'])} finding(s) to "
                 f"{args.write_baseline}"
             )
-    if args.as_json:
+    if fmt == "json":
         # machine mode: the array is the whole output (stable field set)
         print(json.dumps(kept_rows, indent=2), file=out)
+    elif fmt == "sarif":
+        from .lint import sarif_log
+
+        print(json.dumps(sarif_log(kept_rows), indent=2), file=out)
     else:
         for line in text:
             print(line, file=out)
@@ -1057,12 +1144,78 @@ def cmd_opt(args: argparse.Namespace, out) -> int:
             )
             for r in records:
                 print(f"  {r.render()}", file=out)
+            if not any(r.applied for r in records):
+                print(
+                    "  no rewrites applied, plan already "
+                    "optimal/certified",
+                    file=out,
+                )
             print(new_plan.describe(), file=out)
             print(file=out)
         optimized += 1
     if args.as_json:
         print(json.dumps(rows, indent=2), file=out)
     return 0 if optimized else 1
+
+
+def cmd_verify(args: argparse.Namespace, out) -> int:
+    """Certify optimizer rewrites over a grid of cells: the verdict comes
+    from the symbolic dataflow normal form, not from byte diffing."""
+    import json
+
+    from .lint import finding_rows, sarif_log
+    from .verify import certify_grid
+
+    config = _config(args)
+    fmt = args.fmt or ("json" if args.as_json else "text")
+    cells = certify_grid(
+        config,
+        systems=[args.system] if args.system else None,
+        models=args.model,
+        datasets=args.dataset,
+        level=args.level,
+        budget=args.budget,
+    )
+    failed = [c for c in cells if not c.ok]
+    if fmt == "json":
+        print(json.dumps([c.as_dict() for c in cells], indent=2), file=out)
+    elif fmt == "sarif":
+        rows: list[dict] = []
+        for c in cells:
+            if c.result is None:
+                continue
+            label = f"{c.system}/{c.model} on {c.dataset}"
+            rows.extend(finding_rows(label, c.result.decision.findings))
+        print(
+            json.dumps(sarif_log(rows, tool_name="repro-verify"), indent=2),
+            file=out,
+        )
+    else:
+        for c in cells:
+            label = f"{c.system}/{c.model} on {c.dataset}"
+            if c.status == "dash":
+                print(f"{label}: - ({c.reason})", file=out)
+            elif c.status == "certified":
+                assert c.result is not None and c.result.certificate is not None
+                print(
+                    f"{label}: certified "
+                    f"({c.result.decision.verdict}, "
+                    f"cert {c.result.certificate.cert_id[:12]}..)",
+                    file=out,
+                )
+            else:
+                print(f"{label}: FAILED — {c.reason}", file=out)
+                if c.result is not None:
+                    for f in c.result.decision.findings:
+                        print(f"  {f.render()}", file=out)
+        certified = sum(c.status == "certified" for c in cells)
+        dashes = sum(c.status == "dash" for c in cells)
+        print(
+            f"\ncertified {certified}/{len(cells)} cell(s), "
+            f"{dashes} dash(es), {len(failed)} failure(s)",
+            file=out,
+        )
+    return 1 if failed else 0
 
 
 def cmd_tune(args: argparse.Namespace, out) -> int:
@@ -1079,6 +1232,13 @@ def cmd_tune(args: argparse.Namespace, out) -> int:
     if args.store:
         if os.path.exists(args.store):
             store = TunedPlanStore.load(args.store)
+            if store.dropped and not args.as_json:
+                n = store.dropped
+                print(
+                    f"dropped {n} stale entr{'y' if n == 1 else 'ies'} "
+                    f"(tuner version mismatch) while loading {args.store}",
+                    file=out,
+                )
         else:
             store = TunedPlanStore()
         previous = set_tuned_store(store)
@@ -1298,6 +1458,7 @@ _COMMANDS = {
     "regress": cmd_regress,
     "plan": cmd_plan,
     "lint": cmd_lint,
+    "verify": cmd_verify,
     "opt": cmd_opt,
     "tune": cmd_tune,
     "udf": cmd_udf,

@@ -253,10 +253,20 @@ class GNNSystem(ABC):
         ) as sp:
             plan = self._lower(model, graph, X, spec, dataset=dataset, rng=rng)
             plan.fingerprint = key
+            certificate = None
             if opt in ("safe", "search"):
+                lowered = plan
                 plan, _opt_records = optimize_plan(
                     plan, spec, level=opt, dataset=dataset, tuned=tuned
                 )
+                # every accepted rewrite passed the equivalence gate, so
+                # this end-to-end certificate always issues; it rides the
+                # cache entry alongside the fingerprint
+                from ..verify import certify_plans
+
+                certification = certify_plans(plan, lowered)
+                if certification.certificate is not None:
+                    certificate = certification.certificate.as_dict()
             if lint is not None:
                 lint_report = lint_plan(plan, spec)
                 if lint == "strict" and lint_report.errors:
@@ -290,6 +300,7 @@ class GNNSystem(ABC):
                     stats=pipeline,
                     timing=timing,
                     info=plan.info(),
+                    certificate=certificate,
                 ),
             )
         return SystemResult(output=output, report=report, plan=plan.info())

@@ -85,6 +85,7 @@ from .report import (
     sort_findings,
 )
 from .resources import resource_findings
+from .sarif import SARIF_SCHEMA, SARIF_VERSION, sarif_log, sarif_rules
 from .sched import (
     ScheduledPlan,
     StreamSchedule,
@@ -101,6 +102,8 @@ from .sched import (
 __all__ = [
     "COALESCED_SPR_MAX",
     "RULES",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
     "SECTOR_CLASSES",
     "AccessPattern",
     "Affine",
@@ -146,6 +149,8 @@ __all__ = [
     "replay_schedule",
     "resource_findings",
     "rule_info",
+    "sarif_log",
+    "sarif_rules",
     "sector_class",
     "serving_schedule",
     "severity_rank",

@@ -175,6 +175,27 @@ RULES: dict[str, RuleInfo] = _rules(
         "cross-stream atomic-atomic merge — safe but order-nondeterministic",
         "cross-stream-races-race",
     ),
+    # -- plan equivalence (translation validation) ----------------------
+    RuleInfo(
+        "EQ001", "error",
+        "kernel or op carries no derivable normal form — equivalence unprovable",
+        "verification-eq",
+    ),
+    RuleInfo(
+        "EQ002", "error",
+        "output producer terms diverge — the rewrite changes what is computed",
+        "verification-eq",
+    ),
+    RuleInfo(
+        "EQ003", "warning",
+        "reduction-order-only divergence — equivalent modulo float reassociation, not bit-exact",
+        "verification-eq",
+    ),
+    RuleInfo(
+        "EQ004", "error",
+        "stale or tampered equivalence certificate — content address does not verify",
+        "verification-eq",
+    ),
 )
 
 

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 encoding of lint and verification findings.
+
+One static-analysis interchange format for both gates: ``repro lint
+--format sarif`` and ``repro verify --format sarif`` emit the same log
+shape, driven entirely by the shared finding registry — every registered
+rule appears in the tool's rule table (with its severity mapped to a
+SARIF level and its README anchor as the help URI), and every finding
+row becomes one SARIF ``result`` addressed by a logical location
+(plan label + op + buffer; there is no physical file to point at, the
+"source" is a lowered plan).
+
+Like every lint module this one imports no sibling analyses and nothing
+from :mod:`repro.plan` — it consumes the stable JSON row encoding of
+:func:`~repro.lint.report.finding_rows`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from .registry import RULES
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "sarif_log", "sarif_rules"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: registry severity -> SARIF reportingConfiguration.level
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def sarif_rules() -> list[dict[str, Any]]:
+    """The tool-driver rule table: one entry per registered code, in
+    registry order (``ruleIndex`` in results indexes this list)."""
+    return [
+        {
+            "id": info.code,
+            "shortDescription": {"text": info.summary},
+            "helpUri": f"README.md#{info.anchor}",
+            "defaultConfiguration": {"level": _LEVELS[info.severity]},
+        }
+        for info in RULES.values()
+    ]
+
+
+def _result(row: Mapping[str, str], rule_index: dict[str, int]) -> dict[str, Any]:
+    code = row["code"]
+    plan = row.get("plan", "")
+    op = row.get("op", "")
+    buffer = row.get("buffer", "")
+    qualified = plan + (f"::{op}" if op else "")
+    location: dict[str, Any] = {
+        "logicalLocations": [
+            {
+                "name": op or plan,
+                "fullyQualifiedName": qualified,
+                "kind": "function" if op else "module",
+            }
+        ]
+    }
+    result: dict[str, Any] = {
+        "ruleId": code,
+        "level": _LEVELS.get(row.get("severity", ""), "none"),
+        "message": {"text": row["message"]},
+        "locations": [location],
+        "properties": {"plan": plan, "op": op, "buffer": buffer},
+    }
+    if code in rule_index:
+        result["ruleIndex"] = rule_index[code]
+    return result
+
+
+def sarif_log(
+    rows: Iterable[Mapping[str, str]], *, tool_name: str = "repro-lint"
+) -> dict[str, Any]:
+    """A complete SARIF 2.1.0 log from finding rows.
+
+    ``rows`` is the ``finding_rows`` encoding (plan / code / severity /
+    op / buffer / message); an empty iterable yields a valid log with an
+    empty ``results`` array — the "clean" CI upload.
+    """
+    rules = sarif_rules()
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": (
+                            "https://github.com/paper-repro/tlpgnn"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(row, rule_index) for row in rows],
+            }
+        ],
+    }

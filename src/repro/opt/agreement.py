@@ -16,6 +16,9 @@ and the test fails only on *new* divergence.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+from typing import Any
+
 from ..gpusim.config import V100, GPUSpec
 from ..gpusim.microsim import MicroSim
 from .passes import modeled_runtime_s
@@ -24,7 +27,7 @@ from .rewrites import _conv_index, _with_kernel
 __all__ = ["microsim_cycles", "rank_agreement"]
 
 
-def microsim_cycles(kernel, workload, spec: GPUSpec = V100) -> float:
+def microsim_cycles(kernel: Any, workload: Any, spec: GPUSpec = V100) -> float:
     """Exact-replay cost proxy for one kernel launch (cycles).
 
     Replays the kernel warp by warp through the micro-simulator and
@@ -48,8 +51,8 @@ def microsim_cycles(kernel, workload, spec: GPUSpec = V100) -> float:
 
 
 def rank_agreement(
-    plan, kernels, spec: GPUSpec = V100
-) -> dict:
+    plan: Any, kernels: Iterable[Any], spec: GPUSpec = V100
+) -> dict[str, Any]:
     """Compare cost-model and micro-sim winner over candidate kernels.
 
     Returns a dict with both rankings (kernel names, cheapest first) and
@@ -61,8 +64,8 @@ def rank_agreement(
     if idx is None:
         raise ValueError("plan has no rebindable compute kernel")
     workload = plan.ops[idx].workload
-    cost_scores = []
-    sim_scores = []
+    cost_scores: list[tuple[float, str]] = []
+    sim_scores: list[tuple[float, str]] = []
     for kernel in kernels:
         cost_scores.append(
             (modeled_runtime_s(_with_kernel(plan, idx, kernel), spec),

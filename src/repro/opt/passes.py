@@ -35,11 +35,15 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
 
+from collections.abc import Iterable
+from typing import Any
+
 from ..gpusim.config import GPUSpec
-from ..lint import lint_plan
+from ..lint import Finding, lint_plan
 from ..obs.tracer import span
 from ..plan.analyzer import analyze_plan, cost_plan, time_parts
 from ..plan.ir import ExecutionPlan
+from ..verify import decide_equivalence, normalize_plan
 
 __all__ = [
     "OPT_LEVELS",
@@ -63,13 +67,20 @@ OPT_LEVELS = ("off", "safe", "search")
 
 
 class IllegalRewriteError(RuntimeError):
-    """A pass produced a plan with new ERROR-severity lint findings.
+    """A pass produced a plan the gates reject: new ERROR-severity lint
+    findings, or a dataflow normal form diverging from the input's
+    (EQ001/EQ002 — the translation-validation gate).
 
-    Raised — never swallowed — so a buggy rewrite rule fails loudly in CI
-    instead of shipping a plan the hazard analyses reject.
+    Raised — never swallowed — so a buggy rewrite rule fails loudly at
+    rewrite time instead of shipping a plan that computes something else.
     """
 
-    def __init__(self, pass_name: str, plan: ExecutionPlan, findings):
+    def __init__(
+        self,
+        pass_name: str,
+        plan: ExecutionPlan,
+        findings: Iterable[Finding],
+    ) -> None:
         self.pass_name = pass_name
         self.findings = list(findings)
         lines = "\n".join(f"  {f.render()}" for f in self.findings)
@@ -95,7 +106,7 @@ def modeled_runtime_s(plan: ExecutionPlan, spec: GPUSpec) -> float:
     return timing.total_seconds
 
 
-def error_keys(plan: ExecutionPlan, spec: GPUSpec) -> set:
+def error_keys(plan: ExecutionPlan, spec: GPUSpec) -> set[tuple[str, str, str]]:
     """ERROR-severity finding keys of a plan's full lint report."""
     return {f.key() for f in lint_plan(plan, spec).errors}
 
@@ -107,13 +118,13 @@ class PassContext:
     spec: GPUSpec
     #: the Dataset being lowered (or None) — carries the full-size hints
     #: TLPGNN's hybrid heuristic and the tuner key use
-    dataset: object | None = None
+    dataset: Any = None
     #: max candidate plans a searching pass may score
     budget: int = 16
     #: seed for any candidate-order shuffling (determinism contract)
     seed: int = 0
     #: tuned knob dict from the TunedPlanStore (drives ApplyTunedKnobs)
-    tuned: dict | None = None
+    tuned: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -161,10 +172,10 @@ class PassPipeline:
         plan: ExecutionPlan,
         spec: GPUSpec,
         *,
-        dataset=None,
+        dataset: Any = None,
         budget: int = 16,
         seed: int = 0,
-        tuned: dict | None = None,
+        tuned: dict[str, Any] | None = None,
     ) -> tuple[ExecutionPlan, list[PassRecord]]:
         """Run every pass in order; returns (final plan, per-pass records)."""
         if not self.passes:
@@ -173,6 +184,11 @@ class PassPipeline:
             spec=spec, dataset=dataset, budget=budget, seed=seed, tuned=tuned
         )
         baseline_errors = error_keys(plan, spec) if self.verify else set()
+        # the translation-validation gate's anchor: every accepted rewrite
+        # must keep the input plan's dataflow normal form (a baseline that
+        # is itself unprovable — EQ001 on the *input* — is grandfathered,
+        # matching the lint gate's baseline_errors suppression)
+        baseline_nf = normalize_plan(plan) if self.verify else None
         current = plan
         current_ms = modeled_runtime_s(current, spec) * 1e3
         records: list[PassRecord] = []
@@ -192,6 +208,19 @@ class PassPipeline:
                 ]
                 if new:
                     raise IllegalRewriteError(p.name, rewritten, new)
+            eq_note = ""
+            if baseline_nf is not None and baseline_nf.provable:
+                decision = decide_equivalence(
+                    baseline_nf, normalize_plan(rewritten)
+                )
+                if not decision.equivalent:
+                    # mismatch (EQ002) and unprovable (EQ001) both raise:
+                    # the optimizer treats "cannot prove" as "wrong"
+                    raise IllegalRewriteError(
+                        p.name, rewritten, decision.findings
+                    )
+                if decision.verdict == "equivalent-unordered":
+                    eq_note = "EQ003 reduction order"
             after_ms = modeled_runtime_s(rewritten, spec) * 1e3
             if after_ms > current_ms * (1.0 + 1e-12):
                 records.append(
@@ -200,14 +229,16 @@ class PassPipeline:
                     )
                 )
                 continue
-            records.append(PassRecord(p.name, True, current_ms, after_ms))
+            records.append(
+                PassRecord(p.name, True, current_ms, after_ms, eq_note)
+            )
             current = rewritten
             current_ms = after_ms
         return current, records
 
 
 def default_pipeline(
-    level: str = "safe", *, tuned: dict | None = None
+    level: str = "safe", *, tuned: dict[str, Any] | None = None
 ) -> PassPipeline:
     """The standard pipeline for an optimizer level.
 
@@ -246,10 +277,10 @@ def optimize_plan(
     spec: GPUSpec,
     *,
     level: str = "safe",
-    dataset=None,
+    dataset: Any = None,
     budget: int = 16,
     seed: int = 0,
-    tuned: dict | None = None,
+    tuned: dict[str, Any] | None = None,
 ) -> tuple[ExecutionPlan, list[PassRecord]]:
     """Run the default pass pipeline for ``level`` over one plan."""
     pipeline = default_pipeline(level, tuned=tuned)

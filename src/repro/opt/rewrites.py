@@ -28,10 +28,13 @@ Four rewrite families, in the order the default pipeline runs them:
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import replace
+from typing import Any
 
 import numpy as np
 
+from ..gpusim.config import GPUSpec
 from ..gpusim.kernel import KernelStats, LaunchConfig
 from ..gpusim.scheduler import ScheduleResult
 from ..kernels import (
@@ -60,7 +63,7 @@ __all__ = [
 # ----------------------------------------------------------------------
 # knob dict <-> ConvKernel (the tuner's persistence vocabulary)
 # ----------------------------------------------------------------------
-def knobs_for_kernel(kernel) -> dict | None:
+def knobs_for_kernel(kernel: Any) -> dict[str, Any] | None:
     """Serializable knob dict identifying a compute kernel configuration."""
     if isinstance(kernel, TLPGNNKernel):
         return {
@@ -82,11 +85,11 @@ def knobs_for_kernel(kernel) -> dict | None:
     return None
 
 
-def kernel_from_knobs(knobs: dict, *, dataset=None):
+def kernel_from_knobs(knobs: Mapping[str, Any], *, dataset: Any = None) -> Any:
     """Rebuild a ConvKernel from a persisted knob dict (None = unknown)."""
     kind = knobs.get("kernel")
     if kind == "tlpgnn":
-        hints = {}
+        hints: dict[str, Any] = {}
         if dataset is not None:
             hints = {
                 "hint_num_vertices": dataset.full_num_vertices,
@@ -129,7 +132,7 @@ def _conv_index(plan: ExecutionPlan) -> int | None:
     return idx[0]
 
 
-def _with_kernel(plan: ExecutionPlan, idx: int, kernel) -> ExecutionPlan:
+def _with_kernel(plan: ExecutionPlan, idx: int, kernel: Any) -> ExecutionPlan:
     """Rebind the conv op at ``idx`` and the compute step to ``kernel``."""
     old = plan.ops[idx]
     new_op = KernelOp(
@@ -323,34 +326,41 @@ class ElementwiseFusion(PlanPass):
     @staticmethod
     def _try_fuse(ops: list[KernelOp], i: int) -> KernelOp | None:
         a, b = ops[i], ops[i + 1]
-        for op in (a, b):
-            if (
-                op.kind != "modeled"
-                or op.analyze_fn is None
-                or op.effects is None
-                or op.access is None
-                or op.effects.atomics
-                or op.effects.reads_rng
-            ):
-                return None
-        if len(a.effects.writes) != 1:
+        ae, aa = a.effects, a.access
+        be, ba = b.effects, b.access
+        if (
+            a.kind != "modeled"
+            or b.kind != "modeled"
+            or a.analyze_fn is None
+            or b.analyze_fn is None
+            or ae is None
+            or be is None
+            or aa is None
+            or ba is None
+            or ae.atomics
+            or be.atomics
+            or ae.reads_rng
+            or be.reads_rng
+        ):
             return None
-        t = a.effects.writes[0]
-        if not is_transient(t) or t in a.effects.reads:
+        if len(ae.writes) != 1:
+            return None
+        t = ae.writes[0]
+        if not is_transient(t) or t in ae.reads:
             return None
         # the producer must write t unit-owned/streamed — an indirect
         # (scattered) write breaks the unit alignment register fusion needs
         if any(
-            p.buffer == t and p.row == "indirect" for p in a.access.patterns
+            p.buffer == t and p.row == "indirect" for p in aa.patterns
         ):
             return None
-        if t not in b.effects.reads or t in b.effects.writes:
+        if t not in be.reads or t in be.writes:
             return None
         # the consumer must read t *directly* (its own rows, streamed):
         # a gathered/indirect read of t needs other units' producer rows,
         # which cannot stay in registers across the fusion boundary; nor
         # may t back an indirection as the index buffer itself
-        for p in b.access.patterns:
+        for p in ba.patterns:
             if getattr(p, "via", None) == t:
                 return None
             if p.buffer == t and p.row == "indirect":
@@ -367,18 +377,22 @@ class ElementwiseFusion(PlanPass):
                 return None
         name = f"{a.name}+{b.name}"
 
-        def analyze(spec, _a=a, _b=b, _name=name):
+        def analyze(
+            spec: GPUSpec,
+            _a: KernelOp = a,
+            _b: KernelOp = b,
+            _name: str = name,
+        ) -> tuple[KernelStats, ScheduleResult]:
             sa, scha = _a.analyze(spec)
             sb, schb = _b.analyze(spec)
             return _merge_stats(_name, sa, sb), _merge_sched(scha, schb)
 
         reads = tuple(
             dict.fromkeys(
-                list(a.effects.reads)
-                + [r for r in b.effects.reads if r != t]
+                list(ae.reads) + [r for r in be.reads if r != t]
             )
         )
-        ea, eb = a.effects.launch, b.effects.launch
+        ea, eb = ae.launch, be.launch
         if ea is not None and eb is not None:
             launch = LaunchEnvelope(
                 threads_per_block=max(
@@ -398,16 +412,16 @@ class ElementwiseFusion(PlanPass):
             balance=b.balance or a.balance,
             fused=True,
             effects=effect_table(
-                reads=reads, writes=b.effects.writes, launch=launch
+                reads=reads, writes=be.writes, launch=launch
             ),
-            access=_merge_access(a.access, b.access, t),
+            access=_merge_access(aa, ba, t),
         )
 
 
 # ----------------------------------------------------------------------
 # workload-mapping selection (level-1 parallelism)
 # ----------------------------------------------------------------------
-def _tlpgnn_hints(ctx: PassContext) -> dict:
+def _tlpgnn_hints(ctx: PassContext) -> dict[str, Any]:
     if ctx.dataset is None:
         return {}
     return {
@@ -416,7 +430,7 @@ def _tlpgnn_hints(ctx: PassContext) -> dict:
     }
 
 
-def mapping_candidates(workload, ctx: PassContext) -> list:
+def mapping_candidates(workload: Any, ctx: PassContext) -> list[Any]:
     """The level-1 mapping space, filtered by workload support.
 
     NeighborGroupKernel is deliberately absent: it needs the host-side
@@ -449,7 +463,8 @@ class WorkloadMappingSelection(PlanPass):
             return None
         workload = plan.ops[idx].workload
         current = plan.compute.kernel
-        best_plan, best_ms = None, modeled_runtime_s(plan, ctx.spec)
+        best_plan: ExecutionPlan | None = None
+        best_ms = modeled_runtime_s(plan, ctx.spec)
         for kernel in mapping_candidates(workload, ctx)[: max(ctx.budget, 1)]:
             if knobs_for_kernel(kernel) == knobs_for_kernel(current):
                 continue
@@ -471,7 +486,7 @@ GROUP_SIZE_GRID = (8, 16, 32)
 
 def launch_grid(kernel: TLPGNNKernel) -> list[TLPGNNKernel]:
     """All launch-geometry variants of one TLPGNN kernel, its config first."""
-    base = dict(
+    base: dict[str, Any] = dict(
         assignment=kernel.assignment,
         register_cache=kernel.register_cache,
         hint_num_vertices=kernel.hint_num_vertices,
@@ -521,7 +536,8 @@ class LaunchTuning(PlanPass):
         if len(rest) + 1 > ctx.budget:
             order = np.random.default_rng(ctx.seed).permutation(len(rest))
             rest = [rest[int(j)] for j in order[: max(ctx.budget - 1, 0)]]
-        best_plan, best_ms = None, modeled_runtime_s(plan, ctx.spec)
+        best_plan: ExecutionPlan | None = None
+        best_ms = modeled_runtime_s(plan, ctx.spec)
         for kernel in rest:
             cand = _with_kernel(plan, idx, kernel)
             ms = modeled_runtime_s(cand, ctx.spec)

@@ -28,14 +28,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from ..gpusim.config import V100, GPUSpec
 from ..obs.metrics import get_registry
 from ..obs.tracer import span
+from ..verify import certify_plans
 from .passes import PassContext, modeled_runtime_s, optimize_plan
 from .rewrites import (
     _conv_index,
@@ -66,7 +69,7 @@ TUNER_VERSION = 1
 #: the paper's fixed TLPGNN configuration (hybrid assignment, 4 warps /
 #: 128-thread blocks, step 8, full-warp feature tiles) — the baseline
 #: every tuned cell must tie or beat
-PAPER_FIXED_KNOBS = {
+PAPER_FIXED_KNOBS: dict[str, Any] = {
     "kernel": "tlpgnn",
     "assignment": "hybrid",
     "group_size": 32,
@@ -80,10 +83,10 @@ def tuning_key(
     *,
     system: str,
     model: str,
-    graph,
+    graph: Any,
     X: np.ndarray,
     spec: GPUSpec,
-    dataset=None,
+    dataset: Any = None,
 ) -> str:
     """Content sha256 identifying one tunable cell.
 
@@ -126,10 +129,15 @@ class TunedPlanStore:
     """
 
     def __init__(self) -> None:
-        self._entries: dict[str, dict] = {}
+        self._entries: dict[str, dict[str, Any]] = {}
         self.hits = 0
         self.misses = 0
         self.tuned = 0
+        #: version-mismatched entries skipped by the last ``load`` — they
+        #: used to vanish silently; now they are counted, logged, exposed
+        #: as the ``tuned_plans_dropped`` metric, and surfaced by
+        #: ``repro tune --store``
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -138,7 +146,7 @@ class TunedPlanStore:
         return key in self._entries
 
     # ------------------------------------------------------------------
-    def lookup(self, key: str, **labels: str) -> dict | None:
+    def lookup(self, key: str, **labels: str) -> dict[str, Any] | None:
         """Knob dict for a tuning key; counts and publishes the hit/miss."""
         entry = self._entries.get(key)
         if entry is None:
@@ -149,22 +157,32 @@ class TunedPlanStore:
         self._count("tuned_plan_hit", labels)
         return dict(entry["knobs"])
 
+    def entry(self, key: str) -> dict[str, Any] | None:
+        """The full persisted entry for a key (knobs, timings, cell info,
+        equivalence certificate) — no hit/miss accounting; used by the
+        ``serve --certified`` preflight and the certificate tests."""
+        entry = self._entries.get(key)
+        return dict(entry) if entry is not None else None
+
     def record(
         self,
         key: str,
         *,
-        knobs: dict,
+        knobs: dict[str, Any],
         tuned_ms: float,
         fixed_ms: float,
-        cell: dict | None = None,
+        cell: dict[str, Any] | None = None,
+        certificate: dict[str, Any] | None = None,
     ) -> None:
-        """Persist one cell's winning configuration."""
+        """Persist one cell's winning configuration (plus, when the tuner
+        could prove it, the tuned-vs-default equivalence certificate)."""
         self._entries[key] = {
             "version": TUNER_VERSION,
             "knobs": dict(knobs),
             "tuned_ms": tuned_ms,
             "fixed_ms": fixed_ms,
             "cell": dict(cell or {}),
+            "certificate": dict(certificate) if certificate else None,
         }
         self.tuned += 1
         self._count("plans_tuned", {})
@@ -174,6 +192,7 @@ class TunedPlanStore:
         self.hits = 0
         self.misses = 0
         self.tuned = 0
+        self.dropped = 0
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
@@ -187,17 +206,27 @@ class TunedPlanStore:
         for key, entry in doc.get("entries", {}).items():
             if entry.get("version") == TUNER_VERSION:
                 store._entries[key] = entry
+            else:
+                store.dropped += 1
+                store._count("tuned_plans_dropped", {})
+        if store.dropped:
+            logging.getLogger(__name__).warning(
+                "tuned-plan store %s: dropped %d entry(ies) recorded under "
+                "tuner version != %d (stale knobs are never replayed)",
+                path, store.dropped, TUNER_VERSION,
+            )
         return store
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, int]:
         return {
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
             "tuned": self.tuned,
+            "dropped": self.dropped,
         }
 
-    def publish(self, registry=None) -> None:
+    def publish(self, registry: Any = None) -> None:
         """Publish the store's state into a metrics registry (mirrors
         ``PlanCache.publish``): the per-event counters materialized even
         at zero plus lifetime gauges."""
@@ -207,15 +236,17 @@ class TunedPlanStore:
         registry.counter("tuned_plan_hit")
         registry.counter("tuned_plan_miss")
         registry.counter("plans_tuned")
+        registry.counter("tuned_plans_dropped")
         snap = self.snapshot()
         registry.gauge("tuned_plan_entries").set(snap["entries"])
         registry.gauge("tuned_plan_hits").set(snap["hits"])
         registry.gauge("tuned_plan_misses").set(snap["misses"])
         registry.gauge("plans_tuned_total").set(snap["tuned"])
+        registry.gauge("tuned_plans_dropped_total").set(snap["dropped"])
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _count(name: str, labels: dict) -> None:
+    def _count(name: str, labels: dict[str, str]) -> None:
         registry = get_registry()
         if registry is not None:
             registry.counter(name, **labels).inc()
@@ -243,7 +274,7 @@ def set_tuned_store(store: TunedPlanStore) -> TunedPlanStore:
 class TuningTrial:
     """One measured candidate configuration."""
 
-    knobs: dict
+    knobs: dict[str, Any]
     modeled_ms: float
     cached: bool = False
 
@@ -262,7 +293,7 @@ class TuningResult:
     default_ms: float
     #: modeled ms of the winning configuration
     tuned_ms: float
-    best_knobs: dict
+    best_knobs: dict[str, Any]
     trials: list[TuningTrial] = field(default_factory=list)
     #: candidate measurements actually performed (<= budget by contract)
     iterations: int = 0
@@ -271,7 +302,7 @@ class TuningResult:
     def speedup_vs_fixed(self) -> float:
         return self.fixed_ms / self.tuned_ms if self.tuned_ms else 0.0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "system": self.system,
             "model": self.model,
@@ -316,7 +347,9 @@ class AutoTuner:
         self._measurements: dict[tuple[str, str], float] = {}
 
     # ------------------------------------------------------------------
-    def _measure(self, plan, idx, kernel, spec) -> tuple[float, bool]:
+    def _measure(
+        self, plan: Any, idx: int, kernel: Any, spec: GPUSpec
+    ) -> tuple[float, bool]:
         """Modeled ms of `plan` with `kernel` rebound; memoized."""
         knobs = knobs_for_kernel(kernel) or {"kernel": kernel.name}
         cell = plan.fingerprint or f"{plan.system}/{plan.model}/{plan.graph_name}"
@@ -328,10 +361,10 @@ class AutoTuner:
         self._measurements[memo] = ms
         return ms, False
 
-    def candidates(self, workload, ctx) -> list:
+    def candidates(self, workload: Any, ctx: PassContext) -> list[Any]:
         """The full knob space for one cell, deterministically ordered."""
         seen: set[str] = set()
-        space = []
+        space: list[Any] = []
         for kernel in mapping_candidates(workload, ctx):
             for variant in (
                 launch_grid(kernel)
@@ -349,9 +382,9 @@ class AutoTuner:
     # ------------------------------------------------------------------
     def tune(
         self,
-        system,
+        system: Any,
         model: str,
-        data,
+        data: Any,
         X: np.ndarray,
         spec: GPUSpec = V100,
     ) -> TuningResult:
@@ -378,6 +411,27 @@ class AutoTuner:
                 plan, idx, key, spec, dataset, default_knobs
             )
         store = self.store if self.store is not None else get_tuned_store()
+        # translation-validate the winner before persisting it: rebuild
+        # the tuned plan exactly the way opt="search" will replay it and
+        # certify it against the safe-optimized default.  A non-equivalent
+        # winner is a tuner bug — refuse to persist knobs that change
+        # semantics rather than record them uncertified.
+        tuned_plan = plan
+        if idx is not None:
+            best_kernel = kernel_from_knobs(result.best_knobs, dataset=dataset)
+            if best_kernel is not None:
+                tuned_plan = _with_kernel(plan, idx, best_kernel)
+        certification = certify_plans(tuned_plan, plan)
+        if tuned_plan is not plan and not certification.certified:
+            raise RuntimeError(
+                f"tuner produced a non-equivalent plan for {key[:12]}..: "
+                f"{certification.decision.render()}"
+            )
+        certificate = (
+            certification.certificate.as_dict()
+            if certification.certificate is not None
+            else None
+        )
         store.record(
             key,
             knobs=result.best_knobs,
@@ -389,11 +443,18 @@ class AutoTuner:
                 "graph": result.graph,
                 "x_shape": list(X.shape),
             },
+            certificate=certificate,
         )
         return result
 
     def _search(
-        self, plan, idx, key, spec, dataset, default_knobs
+        self,
+        plan: Any,
+        idx: int | None,
+        key: str,
+        spec: GPUSpec,
+        dataset: Any,
+        default_knobs: dict[str, Any] | None,
     ) -> TuningResult:
         default_ms = modeled_runtime_s(plan, spec) * 1e3
         trials: list[TuningTrial] = []
@@ -415,7 +476,7 @@ class AutoTuner:
         )
         workload = plan.ops[idx].workload
 
-        def measure(kernel) -> float:
+        def measure(kernel: Any) -> float:
             nonlocal iterations
             ms, cached = self._measure(plan, idx, kernel, spec)
             if not cached:
@@ -452,7 +513,7 @@ class AutoTuner:
             kernel = space[int(j)]
             ms = measure(kernel)
             if ms < best_ms:  # strict: ties keep the earlier candidate
-                best_knobs, best_ms = knobs_for_kernel(kernel), ms
+                best_knobs, best_ms = knobs_for_kernel(kernel) or {}, ms
 
         return TuningResult(
             system=plan.system, model=plan.model, graph=plan.graph_name,

@@ -110,6 +110,11 @@ class PlanCacheEntry:
     stats: PipelineStats
     timing: PipelineTiming
     info: PlanInfo
+    #: optimized-vs-lowered equivalence certificate (as_dict form) when
+    #: the entry was produced under an optimizer level; None for opt=off
+    #: runs — the certificate travels with the fingerprint so incremental
+    #: plan patches (ROADMAP item 3) stay per-plan auditable
+    certificate: dict | None = None
 
 
 class PlanCache:

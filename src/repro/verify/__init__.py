@@ -1,0 +1,89 @@
+"""Translation validation over ExecutionPlans: normal forms, equivalence
+decisions, and content-addressed certificates.
+
+The optimizer's legality story used to rest on *test-time* evidence: 24
+golden cells asserting byte-identical outputs.  This package makes the
+semantic claim *statically checkable per plan* — TLPGNN's design space
+(and every rewrite in :mod:`repro.opt.rewrites`) changes performance,
+never semantics, and that is now a theorem checked at rewrite time:
+
+* :mod:`~repro.verify.normal` — canonicalize a plan into a schedule-free
+  dataflow normal form: per-output producer terms from the ``repro.mp``
+  term algebra (gather source, scale term, reduction operator, self
+  term, output permutation) plus the **ordering class** derived from the
+  kernel-mapping effect tables (exclusive or idempotent merges are
+  exact; atomic float sums form a reassociation class),
+* :mod:`~repro.verify.equiv` — decide equivalence of two normal forms
+  modulo legal reassociation, with a minimal-diverging-term explanation
+  (verdicts: equal / equivalent-unordered / mismatch / unknown; finding
+  codes EQ001-EQ003),
+* :mod:`~repro.verify.certificate` — issue and re-verify content-
+  addressed :class:`EquivalenceCertificate` documents (EQ004 for stale
+  or tampered certificates),
+* :mod:`~repro.verify.api` — the grid drivers behind ``repro verify``,
+  the ``verify-smoke`` CI job, and the ``serve --certified`` preflight.
+
+Layering mirrors :mod:`repro.lint`: nothing here imports
+:mod:`repro.plan` or :mod:`repro.opt` at module scope — plans are
+duck-typed, and the optimizer imports *us* for its third gate.  The
+static verdicts are replay-validated by the Hypothesis differential
+fuzzer (tests/verify/test_differential_fuzz.py): on every generated
+(spec, pipeline) pair the certificate verdict must agree with the
+executed byte comparison.
+"""
+
+from .api import (
+    CellCertification,
+    TunedPlanCheck,
+    certify_grid,
+    certify_optimized,
+    check_tuned_certificate,
+)
+from .certificate import (
+    CERT_VERSION,
+    CertificationResult,
+    EquivalenceCertificate,
+    certify,
+    certify_plans,
+    verify_certificate,
+)
+from .equiv import (
+    EQUIVALENT_VERDICTS,
+    VERDICTS,
+    EquivalenceDecision,
+    decide_equivalence,
+)
+from .normal import (
+    ORDER_EXACT,
+    ORDER_FLOAT_SUM,
+    ORDERING_CLASSES,
+    PlanNormalForm,
+    ProducerTerm,
+    normalize_plan,
+    plan_label,
+)
+
+__all__ = [
+    "CERT_VERSION",
+    "EQUIVALENT_VERDICTS",
+    "ORDER_EXACT",
+    "ORDER_FLOAT_SUM",
+    "ORDERING_CLASSES",
+    "VERDICTS",
+    "CellCertification",
+    "CertificationResult",
+    "EquivalenceCertificate",
+    "EquivalenceDecision",
+    "PlanNormalForm",
+    "ProducerTerm",
+    "TunedPlanCheck",
+    "certify",
+    "certify_grid",
+    "certify_optimized",
+    "certify_plans",
+    "check_tuned_certificate",
+    "decide_equivalence",
+    "normalize_plan",
+    "plan_label",
+    "verify_certificate",
+]

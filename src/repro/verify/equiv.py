@@ -1,0 +1,154 @@
+"""Deciding plan equivalence over normal forms (EQ001-EQ003).
+
+The decision procedure is deliberately small because the normal form did
+the work: two plans are equivalent iff their producer terms agree field
+for field, with one tolerance — a divergence in the *ordering class
+alone* is legal reassociation of a float reduction (the rewritten plan
+merges partial sums in a different order than the reference; every
+summand is identical).  That verdict is kept distinct
+(``equivalent-unordered``, EQ003) because it is the one case where
+"equivalent" does not imply "bit-exact on real hardware" — the same
+boundary DET001 warns about per plan.
+
+Verdicts:
+
+* ``equal`` — identical normal forms, ordering class included.
+* ``equivalent-unordered`` — semantic terms identical, ordering class
+  differs; legal only because the divergent class is the float-sum
+  reassociation class (idempotent merges never reach here: they
+  normalize to the exact class on both sides).
+* ``mismatch`` — some semantic term diverges (EQ002); the decision
+  carries the *minimal diverging term*: the first field, in canonical
+  field order, on which the two forms disagree.
+* ``unknown`` — at least one side has no derivable normal form (EQ001);
+  the optimizer treats unprovable exactly like wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..lint import Finding, make_finding
+from .normal import ORDER_FLOAT_SUM, PlanNormalForm, ProducerTerm
+
+__all__ = [
+    "VERDICTS",
+    "EQUIVALENT_VERDICTS",
+    "EquivalenceDecision",
+    "decide_equivalence",
+]
+
+VERDICTS = ("equal", "equivalent-unordered", "mismatch", "unknown")
+
+#: verdicts under which a certificate may be issued
+EQUIVALENT_VERDICTS = ("equal", "equivalent-unordered")
+
+
+@dataclass(frozen=True)
+class EquivalenceDecision:
+    """The outcome of comparing two normal forms."""
+
+    verdict: str
+    findings: tuple[Finding, ...] = ()
+    #: human-readable minimal diverging term ("out.scale: a12b.. != 9c0d..")
+    diverging: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.verdict not in VERDICTS:
+            raise ValueError(f"verdict must be one of {VERDICTS}")
+
+    @property
+    def equivalent(self) -> bool:
+        return self.verdict in EQUIVALENT_VERDICTS
+
+    def render(self) -> str:
+        lines = [f"verdict: {self.verdict}"]
+        if self.diverging:
+            lines.append(f"  diverging term: {self.diverging}")
+        lines.extend(f"  {f.render()}" for f in self.findings)
+        return "\n".join(lines)
+
+
+def _show(value: Any) -> str:
+    """Compact rendering of a term field (hashes shortened to 12 chars)."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value[:12] if len(value) > 16 else value
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_show(v) for v in value) + ")"
+    return repr(value)
+
+
+def _diverging_field(a: ProducerTerm, b: ProducerTerm) -> str | None:
+    """First semantic field (canonical order) the two terms disagree on."""
+    for name in ProducerTerm.SEMANTIC_FIELDS:
+        va, vb = getattr(a, name), getattr(b, name)
+        if va != vb:
+            return (
+                f"{a.buffer}.{name}: {_show(va)} != {_show(vb)}"
+            )
+    return None
+
+
+def decide_equivalence(
+    a: PlanNormalForm, b: PlanNormalForm
+) -> EquivalenceDecision:
+    """Decide whether two normal forms denote the same computation."""
+    underivable = tuple(a.findings) + tuple(b.findings)
+    if underivable or not a.provable or not b.provable:
+        return EquivalenceDecision(verdict="unknown", findings=underivable)
+
+    buffers_a = {t.buffer for t in a.terms}
+    buffers_b = {t.buffer for t in b.terms}
+    if buffers_a != buffers_b:
+        msg = (
+            f"output buffer sets differ: {sorted(buffers_a)} vs "
+            f"{sorted(buffers_b)}"
+        )
+        return EquivalenceDecision(
+            verdict="mismatch",
+            findings=(make_finding("EQ002", msg),),
+            diverging="buffers: " + msg,
+        )
+
+    ordering_only: list[Finding] = []
+    for ta in a.terms:
+        tb = b.term(ta.buffer)
+        assert tb is not None  # buffer sets match
+        diverging = _diverging_field(ta, tb)
+        if diverging is not None:
+            return EquivalenceDecision(
+                verdict="mismatch",
+                findings=(
+                    make_finding(
+                        "EQ002",
+                        "producer terms diverge — the plans compute "
+                        f"different things ({diverging})",
+                        buffer=ta.buffer,
+                    ),
+                ),
+                diverging=diverging,
+            )
+        if ta.ordering != tb.ordering:
+            # semantic terms agree; only the merge order differs.  Legal
+            # reassociation requires the divergent side to be the float
+            # reassociation class (idempotent merges normalize to exact
+            # on both sides, so they can never diverge here).
+            assert ORDER_FLOAT_SUM in (ta.ordering, tb.ordering)
+            ordering_only.append(
+                make_finding(
+                    "EQ003",
+                    f"reduction-order-only divergence on {ta.buffer!r}: "
+                    f"{ta.ordering} vs {tb.ordering} — equivalent modulo "
+                    "reassociation of the float reduction, but not "
+                    "bit-exact under hardware atomics (see DET001)",
+                    buffer=ta.buffer,
+                )
+            )
+    if ordering_only:
+        return EquivalenceDecision(
+            verdict="equivalent-unordered", findings=tuple(ordering_only)
+        )
+    return EquivalenceDecision(verdict="equal")

@@ -40,6 +40,16 @@ from repro.lint.effects import (
     effect_table,
 )
 from repro.plan import ComputeStep, ExecutionPlan, KernelOp
+from repro.verify import (
+    ORDER_EXACT,
+    ORDER_FLOAT_SUM,
+    EquivalenceCertificate,
+    PlanNormalForm,
+    ProducerTerm,
+    decide_equivalence,
+    normalize_plan,
+    verify_certificate,
+)
 
 README = pathlib.Path(__file__).resolve().parents[2] / "README.md"
 ENV = LaunchEnvelope(threads_per_block=128)
@@ -308,6 +318,70 @@ def _race003():
     return race_findings(_race_schedule(eff, eff, {"hist"}))
 
 
+class _VGraph:
+    """Duck-typed graph for normalize_plan (content fingerprint only)."""
+
+    def fingerprint(self):
+        return "cafe" * 16
+
+
+class _VWorkload:
+    """Duck-typed ConvWorkload slice the normal form reads."""
+
+    attention = None
+    edge_weights = None
+    self_coeff = None
+    reduce = "sum"
+    graph = _VGraph()
+    X = [[0.0, 1.0], [2.0, 3.0]]
+
+
+def _term(**overrides):
+    base = dict(
+        buffer="out", graph="g" * 64, feature="f" * 64,
+        scale=("unit",), self_term=None, reduce="sum",
+        output_perm=None, sources=("feat", "graph"),
+        ordering=ORDER_EXACT,
+    )
+    base.update(overrides)
+    return ProducerTerm(**base)
+
+
+def _nf(term):
+    return PlanNormalForm(label="X/m on g", terms=(term,))
+
+
+def _eq001():
+    # an op with no effect table obstructs the dataflow closure
+    return normalize_plan(
+        _plan([_op("bare", None)], workload=_VWorkload())
+    ).findings
+
+
+def _eq002():
+    # same plan shape, different feature matrix -> diverging producer term
+    return decide_equivalence(
+        _nf(_term()), _nf(_term(feature="e" * 64))
+    ).findings
+
+
+def _eq003():
+    # identical semantics, atomic float merge on one side only
+    return decide_equivalence(
+        _nf(_term()), _nf(_term(ordering=ORDER_FLOAT_SUM))
+    ).findings
+
+
+def _eq004():
+    cert = EquivalenceCertificate(
+        subject="X/m on g", reference="X/m on g",
+        subject_digest="a" * 64, reference_digest="a" * 64,
+        verdict="equal",
+    ).as_dict()
+    cert["verdict"] = "equivalent-unordered"  # hand-edit: address now lies
+    return verify_certificate(cert)
+
+
 FIXTURES = {
     "HAZ001": _haz001,
     "HAZ002": _haz002,
@@ -340,6 +414,10 @@ FIXTURES = {
     "RACE001": _race001,
     "RACE002": _race002,
     "RACE003": _race003,
+    "EQ001": _eq001,
+    "EQ002": _eq002,
+    "EQ003": _eq003,
+    "EQ004": _eq004,
 }
 
 CODES = sorted(RULES)

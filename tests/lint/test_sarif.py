@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 encoding: rule table completeness, result shape, CLI path."""
+
+import json
+from io import StringIO
+
+from repro import cli
+from repro.lint import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    sarif_log,
+    sarif_rules,
+)
+from repro.lint.registry import RULES
+
+_LEVEL_FOR = {"error": "error", "warning": "warning", "info": "note"}
+
+_SAMPLE_ROWS = [
+    {
+        "plan": "TLPGNN/gcn on CR",
+        "code": "DET001",
+        "severity": "warning",
+        "op": "spmm",
+        "buffer": "out",
+        "message": "float atomics make the reduction order nondeterministic",
+    },
+    {
+        "plan": "GNNAdvisor/gat on CS",
+        "code": "EQ003",
+        "severity": "warning",
+        "op": "",
+        "buffer": "",
+        "message": "plans agree only up to float-sum reassociation",
+    },
+]
+
+
+class TestRuleTable:
+    def test_every_registered_code_has_a_rule(self):
+        table = {r["id"]: r for r in sarif_rules()}
+        assert set(table) == set(RULES)
+        for code, info in RULES.items():
+            rule = table[code]
+            assert rule["shortDescription"]["text"] == info.summary
+            assert rule["helpUri"] == f"README.md#{info.anchor}"
+            level = rule["defaultConfiguration"]["level"]
+            assert level == _LEVEL_FOR[info.severity]
+
+    def test_rule_order_matches_registry_order(self):
+        assert [r["id"] for r in sarif_rules()] == list(RULES)
+
+
+class TestLogShape:
+    def test_envelope(self):
+        log = sarif_log([])
+        assert log["$schema"] == SARIF_SCHEMA
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"] == []
+        # empty logs still carry the full rule table for the upload
+        assert len(run["tool"]["driver"]["rules"]) == len(RULES)
+
+    def test_tool_name_override(self):
+        log = sarif_log([], tool_name="repro-verify")
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-verify"
+
+    def test_results_from_rows(self):
+        (run,) = sarif_log(_SAMPLE_ROWS)["runs"]
+        op_result, plan_result = run["results"]
+
+        assert op_result["ruleId"] == "DET001"
+        assert op_result["level"] == "warning"
+        (loc,) = op_result["locations"][0]["logicalLocations"]
+        assert loc["name"] == "spmm"
+        assert loc["fullyQualifiedName"] == "TLPGNN/gcn on CR::spmm"
+        assert loc["kind"] == "function"
+        assert op_result["properties"] == {
+            "plan": "TLPGNN/gcn on CR", "op": "spmm", "buffer": "out",
+        }
+
+        # a plan-level finding (no op) locates at the plan itself
+        (loc,) = plan_result["locations"][0]["logicalLocations"]
+        assert loc["name"] == "GNNAdvisor/gat on CS"
+        assert loc["fullyQualifiedName"] == "GNNAdvisor/gat on CS"
+        assert loc["kind"] == "module"
+
+        rules = run["tool"]["driver"]["rules"]
+        for result in (op_result, plan_result):
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_unknown_code_is_kept_without_rule_index(self):
+        row = dict(_SAMPLE_ROWS[0], code="XX999", severity="bogus")
+        (result,) = sarif_log([row])["runs"][0]["results"]
+        assert result["ruleId"] == "XX999"
+        assert result["level"] == "none"
+        assert "ruleIndex" not in result
+
+    def test_log_is_json_serializable(self):
+        encoded = json.dumps(sarif_log(_SAMPLE_ROWS))
+        assert json.loads(encoded)["version"] == "2.1.0"
+
+
+class TestCLI:
+    def test_lint_format_sarif(self):
+        out = StringIO()
+        rc = cli.main(
+            ["--max-edges", "20000", "lint", "--system", "TLPGNN",
+             "--model", "gcn", "--dataset", "CR", "--format", "sarif"],
+            out=out,
+        )
+        assert rc in (0, 1)
+        log = json.loads(out.getvalue())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_verify_format_sarif(self):
+        out = StringIO()
+        rc = cli.main(
+            ["--max-edges", "20000", "verify", "--system", "TLPGNN",
+             "--model", "gcn", "--dataset", "CR", "--format", "sarif"],
+            out=out,
+        )
+        assert rc == 0
+        log = json.loads(out.getvalue())
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-verify"

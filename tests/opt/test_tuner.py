@@ -87,8 +87,13 @@ class TestStore:
         assert store.lookup(result.key) == result.best_knobs
         assert store.lookup("missing") is None
         assert store.snapshot() == {
-            "entries": 1, "hits": 1, "misses": 1, "tuned": 1,
+            "entries": 1, "hits": 1, "misses": 1, "tuned": 1, "dropped": 0,
         }
+        entry = store.entry(result.key)
+        assert entry is not None and entry["knobs"] == result.best_knobs
+        assert entry["certificate"]["verdict"] in (
+            "equal", "equivalent-unordered"
+        )
 
     def test_save_load_roundtrip(self, cell, tmp_path):
         store = TunedPlanStore()
@@ -105,7 +110,11 @@ class TestStore:
         store._entries[result.key]["version"] = TUNER_VERSION + 1
         path = tmp_path / "tuned.json"
         store.save(path)
-        assert len(TunedPlanStore.load(path)) == 0
+        loaded = TunedPlanStore.load(path)
+        assert len(loaded) == 0
+        # the silent drop is silent no more: counted and exposed
+        assert loaded.dropped == 1
+        assert loaded.snapshot()["dropped"] == 1
 
     def test_metrics_mirror(self, cell):
         ds, X, spec = cell

@@ -1,0 +1,30 @@
+"""Shared cells for the translation-validation tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BenchConfig, get_dataset, make_features
+from repro.graph.csr import from_edge_list
+from repro.mp import MessageSpec, ReduceSpec, SymNorm, bind
+
+
+@pytest.fixture(scope="package")
+def cr_cell():
+    """The CR golden cell: (dataset, X, spec, config)."""
+    config = BenchConfig()
+    ds = get_dataset("CR", config)
+    X = make_features(ds.graph.num_vertices, config.feat_dim, seed=config.seed)
+    return ds, X, config.spec_for(ds), config
+
+
+@pytest.fixture(scope="package")
+def tiny_workload():
+    """A small random-but-seeded gcn-shaped ConvWorkload."""
+    rng = np.random.default_rng(11)
+    src = rng.integers(0, 30, 120)
+    dst = rng.integers(0, 30, 120)
+    graph = from_edge_list(src, dst, 30, name="tiny", dedup=True)
+    X = rng.standard_normal((30, 8)).astype(np.float32)
+    model = bind("tiny", MessageSpec(scale=SymNorm()), ReduceSpec(op="sum"),
+                 graph, X)
+    return model.workload()

@@ -1,0 +1,102 @@
+"""Certificates: content addressing, tamper/staleness detection (EQ004)."""
+
+from dataclasses import replace
+
+from repro.frameworks import SYSTEMS
+from repro.kernels import TLPGNNKernel
+from repro.plan.ir import plan_for_kernel
+from repro.verify import (
+    CERT_VERSION,
+    EquivalenceCertificate,
+    certify_plans,
+    verify_certificate,
+)
+
+
+def _cert(tiny_workload):
+    plan = plan_for_kernel(TLPGNNKernel(), tiny_workload)
+    result = certify_plans(plan, plan)
+    assert result.certified
+    return result.certificate
+
+
+class TestIssue:
+    def test_self_certification_is_equal(self, tiny_workload):
+        plan = plan_for_kernel(TLPGNNKernel(), tiny_workload)
+        result = certify_plans(plan, plan)
+        assert result.decision.verdict == "equal"
+        cert = result.certificate
+        assert cert is not None
+        assert cert.subject_digest == cert.reference_digest
+        assert cert.version == CERT_VERSION
+
+    def test_mismatch_certifies_nothing(self, tiny_workload):
+        plan = plan_for_kernel(TLPGNNKernel(), tiny_workload)
+        other = plan_for_kernel(
+            TLPGNNKernel(), replace(tiny_workload, X=tiny_workload.X + 1.0)
+        )
+        result = certify_plans(plan, other)
+        assert result.decision.verdict == "mismatch"
+        assert result.certificate is None
+        assert not result.certified
+
+    def test_dict_roundtrip_preserves_content_address(self, tiny_workload):
+        cert = _cert(tiny_workload)
+        doc = cert.as_dict()
+        again = EquivalenceCertificate.from_dict(doc)
+        assert again == cert
+        assert again.cert_id == doc["cert_id"]
+
+
+class TestVerify:
+    def test_clean_certificate_verifies(self, tiny_workload):
+        assert verify_certificate(_cert(tiny_workload).as_dict()) == []
+
+    def test_live_plan_check_passes_when_unchanged(self, tiny_workload):
+        plan = plan_for_kernel(TLPGNNKernel(), tiny_workload)
+        doc = certify_plans(plan, plan).certificate.as_dict()
+        assert verify_certificate(
+            doc, subject_plan=plan, reference_plan=plan
+        ) == []
+
+    def test_tampered_payload_field_is_eq004(self, tiny_workload):
+        doc = _cert(tiny_workload).as_dict()
+        doc["subject_digest"] = "0" * 64
+        findings = verify_certificate(doc)
+        assert findings and all(f.rule == "EQ004" for f in findings)
+        assert any("tampered" in f.message for f in findings)
+
+    def test_tampered_verdict_is_eq004(self, tiny_workload):
+        doc = _cert(tiny_workload).as_dict()
+        doc["verdict"] = "mismatch"
+        findings = verify_certificate(doc)
+        assert any("tampered" in f.message for f in findings)
+        assert any("non-equivalent verdict" in f.message for f in findings)
+
+    def test_stale_version_is_eq004(self, tiny_workload):
+        cert = replace(_cert(tiny_workload), version=CERT_VERSION - 1)
+        findings = verify_certificate(cert.as_dict())
+        assert findings and all(f.rule == "EQ004" for f in findings)
+        assert any("stale" in f.message for f in findings)
+        # the address itself is consistent: only the version is stale
+        assert not any("tampered" in f.message for f in findings)
+
+    def test_stale_digest_against_live_plan_is_eq004(self, cr_cell,
+                                                     tiny_workload):
+        ds, X, spec, _ = cr_cell
+        doc = _cert(tiny_workload).as_dict()
+        moved_on = SYSTEMS["TLPGNN"]().lower("gcn", ds, X, spec)
+        findings = verify_certificate(doc, subject_plan=moved_on)
+        assert findings and all(f.rule == "EQ004" for f in findings)
+        assert any("no longer matches" in f.message for f in findings)
+
+    def test_missing_field_is_eq004(self, tiny_workload):
+        doc = _cert(tiny_workload).as_dict()
+        del doc["reference_digest"]
+        findings = verify_certificate(doc)
+        assert [f.rule for f in findings] == ["EQ004"]
+        assert "missing" in findings[0].message
+
+    def test_non_object_is_eq004(self):
+        findings = verify_certificate("not a certificate")
+        assert [f.rule for f in findings] == ["EQ004"]

@@ -1,0 +1,71 @@
+"""Satellite contract: ``serve --certified`` end-to-end through the CLI.
+
+Tune a cell into a store file, then (a) serve it certified, (b) hand-edit
+the persisted certificate and watch the serve refuse with EQ004.
+"""
+
+import json
+from io import StringIO
+
+import pytest
+
+from repro import cli
+
+_CELL = ["--system", "TLPGNN", "--model", "gcn", "--dataset", "CR"]
+
+
+def _run(argv):
+    out = StringIO()
+    rc = cli.main(["--max-edges", "20000", *argv], out=out)
+    return rc, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def tuned_store(tmp_path_factory):
+    store = tmp_path_factory.mktemp("certified") / "tuned.json"
+    rc, text = _run(["tune", *_CELL, "--budget", "8", "--store", str(store)])
+    assert rc == 0, text
+    return store
+
+
+def _serve(store):
+    return _run(["serve", *_CELL, "--smoke", "--opt", "search",
+                 "--certified", "--store", str(store)])
+
+
+class TestCertifiedServing:
+    def test_tune_persists_a_clean_certificate(self, tuned_store):
+        doc = json.loads(tuned_store.read_text())
+        (entry,) = doc["entries"].values()
+        cert = entry["certificate"]
+        assert cert["verdict"] in ("equal", "equivalent-unordered")
+        assert cert["subject"] == "TLPGNN/gcn on CR"
+        assert len(cert["cert_id"]) == 64
+
+    def test_certified_serve_accepts_a_valid_store(self, tuned_store):
+        rc, text = _serve(tuned_store)
+        assert rc == 0, text
+        assert "serve --certified: ok" in text
+        assert "tuned-plan certificate ok" in text
+
+    def test_hand_edited_certificate_is_refused_with_eq004(self, tuned_store,
+                                                           tmp_path):
+        doc = json.loads(tuned_store.read_text())
+        (entry,) = doc["entries"].values()
+        # the hand edit: flip the recorded verdict without re-signing
+        entry["certificate"]["verdict"] = "mismatch"
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(doc))
+
+        rc, text = _serve(tampered)
+        assert rc == 1
+        assert "EQ004" in text
+        assert "tampered" in text
+        assert "REFUSED" in text
+
+    def test_missing_store_is_refused(self, tmp_path):
+        rc, text = _run(["serve", *_CELL, "--smoke", "--opt", "search",
+                         "--certified"])
+        assert rc == 1
+        assert "no tuned plan recorded" in text
+        assert "REFUSED" in text
